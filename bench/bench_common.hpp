@@ -1,0 +1,81 @@
+// Shared scaffolding for the experiment harness.  Every bench prints the
+// rows/series its experiment in DESIGN.md calls for, with fixed seeds and a
+// deterministic simulator, so EXPERIMENTS.md is reproducible.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "fem/mesh.hpp"
+#include "fem/solver.hpp"
+#include "hw/machine.hpp"
+#include "navm/parops.hpp"
+#include "navm/runtime.hpp"
+#include "support/table.hpp"
+#include "sysvm/os.hpp"
+
+namespace fem2::bench {
+
+/// A fresh machine + OS + runtime, with the parallel ops registered.
+struct Stack {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<sysvm::Os> os;
+  std::unique_ptr<navm::Runtime> runtime;
+
+  explicit Stack(hw::MachineConfig config = {}, sysvm::OsOptions options = {})
+      : machine(std::make_unique<hw::Machine>(config)),
+        os(std::make_unique<sysvm::Os>(*machine, options)),
+        runtime(std::make_unique<navm::Runtime>(*os)) {
+    navm::register_parallel_ops(*runtime);
+  }
+};
+
+inline hw::MachineConfig machine_shape(std::size_t clusters,
+                                       std::size_t pes_per_cluster,
+                                       std::size_t memory = 64u << 20) {
+  hw::MachineConfig config;
+  config.clusters = clusters;
+  config.pes_per_cluster = pes_per_cluster;
+  config.memory_per_cluster = memory;
+  return config;
+}
+
+/// Standard experiment workload: plane-stress cantilever sheet.
+inline fem::StructureModel cantilever_sheet(std::size_t nx, std::size_t ny,
+                                            double load = 1'000.0) {
+  fem::PlateMeshOptions mesh;
+  mesh.nx = nx;
+  mesh.ny = ny;
+  mesh.width = static_cast<double>(nx) / 8.0;
+  mesh.height = static_cast<double>(ny) / 8.0;
+  mesh.material.youngs_modulus = 70e9;
+  mesh.material.thickness = 0.005;
+  return fem::make_cantilever_plate(mesh, load);
+}
+
+/// Run the distributed CG solve on a fresh stack; returns the stack for
+/// metric inspection plus the solution stats.
+struct ParallelRun {
+  Stack stack;
+  fem::StaticSolution solution;
+
+  ParallelRun(const fem::StructureModel& model, std::size_t workers,
+              hw::MachineConfig config, sysvm::OsOptions options = {})
+      : stack(config, options),
+        solution(fem::solve_static_parallel(
+            model, "tip-shear", *stack.runtime,
+            {.workers = static_cast<std::uint32_t>(workers),
+             .tolerance = 1e-8})) {}
+
+  hw::Cycles elapsed() const { return stack.machine->now(); }
+};
+
+inline void print_header(std::string_view id, std::string_view claim) {
+  std::cout << "==================================================="
+               "=========================\n"
+            << id << " — " << claim << "\n"
+            << "==================================================="
+               "=========================\n";
+}
+
+}  // namespace fem2::bench

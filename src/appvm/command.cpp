@@ -1,0 +1,452 @@
+#include "appvm/command.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "appvm/serialize.hpp"
+#include "fem/dynamics.hpp"
+#include "fem/mesh.hpp"
+#include "support/strings.hpp"
+
+namespace fem2::appvm {
+
+namespace {
+
+class CommandError : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+double to_double(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw CommandError("expected a number, found '" + token + "'");
+  }
+}
+
+std::size_t to_index(const std::string& token) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw CommandError("expected an index, found '" + token + "'");
+  return value;
+}
+
+/// key=value option scanning over a token range.
+class Options {
+ public:
+  Options(const std::vector<std::string>& tokens, std::size_t first) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        flags_.push_back(tokens[i]);
+      } else {
+        pairs_.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+      }
+    }
+  }
+
+  double number(std::string_view key, double fallback) const {
+    for (const auto& [k, v] : pairs_)
+      if (k == key) return to_double(v);
+    return fallback;
+  }
+  std::size_t index(std::string_view key, std::size_t fallback) const {
+    for (const auto& [k, v] : pairs_)
+      if (k == key) return to_index(v);
+    return fallback;
+  }
+  bool flag(std::string_view name) const {
+    for (const auto& f : flags_)
+      if (f == name) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  std::vector<std::string> flags_;
+};
+
+fem::SolverKind solver_from_name(const std::string& name) {
+  if (name == "skyline") return fem::SolverKind::SkylineDirect;
+  if (name == "cholesky") return fem::SolverKind::DenseCholesky;
+  if (name == "cg") return fem::SolverKind::ConjugateGradient;
+  if (name == "pcg") return fem::SolverKind::PreconditionedCg;
+  if (name == "gauss-seidel") return fem::SolverKind::GaussSeidel;
+  if (name == "sor") return fem::SolverKind::Sor;
+  if (name == "jacobi") return fem::SolverKind::Jacobi;
+  throw CommandError("unknown solver '" + name +
+                     "' (skyline, cholesky, cg, pcg, gauss-seidel, sor, "
+                     "jacobi)");
+}
+
+fem::ElementType element_from_name(const std::string& name) {
+  if (name == "bar" || name == "bar2") return fem::ElementType::Bar2;
+  if (name == "beam" || name == "beam2") return fem::ElementType::Beam2;
+  if (name == "tri" || name == "tri3") return fem::ElementType::Tri3;
+  if (name == "quad" || name == "quad4") return fem::ElementType::Quad4;
+  throw CommandError("unknown element type '" + name + "'");
+}
+
+}  // namespace
+
+Session::Session(Database& database, std::string user)
+    : database_(database), user_(std::move(user)) {}
+
+Response Session::execute(const std::string& line) {
+  const auto trimmed = support::trim(line);
+  if (trimmed.empty() || trimmed.starts_with('#')) return {true, ""};
+  const auto tokens = support::split_ws(trimmed);
+  try {
+    return dispatch(tokens);
+  } catch (const support::Error& e) {
+    return {false, e.what()};
+  } catch (const support::CheckError& e) {
+    return {false, e.what()};
+  }
+}
+
+std::vector<Response> Session::execute_script(const std::string& script,
+                                              bool keep_going) {
+  std::vector<Response> out;
+  std::istringstream is(script);
+  std::string line;
+  while (std::getline(is, line)) {
+    out.push_back(execute(line));
+    if (!out.back().ok && !keep_going) break;
+  }
+  return out;
+}
+
+Response Session::dispatch(const std::vector<std::string>& tokens) {
+  const std::string& cmd = tokens[0];
+  if (cmd == "help") return {true, help_text()};
+  if (cmd == "new") return cmd_new(tokens);
+  if (cmd == "node") return cmd_node(tokens);
+  if (cmd == "material") return cmd_material(tokens);
+  if (cmd == "element") return cmd_element(tokens);
+  if (cmd == "fix") return cmd_fix(tokens);
+  if (cmd == "constrain") return cmd_constrain(tokens);
+  if (cmd == "load") return cmd_load(tokens);
+  if (cmd == "mesh") return cmd_mesh(tokens);
+  if (cmd == "solve") return cmd_solve(tokens);
+  if (cmd == "modes") return cmd_modes(tokens);
+  if (cmd == "stresses") return cmd_stresses(tokens);
+  if (cmd == "show") return cmd_show(tokens);
+  if (cmd == "store") return cmd_store(tokens);
+  if (cmd == "retrieve") return cmd_retrieve(tokens);
+  if (cmd == "list") return cmd_list(tokens);
+  if (cmd == "remove") return cmd_remove(tokens);
+  if (cmd == "save") return cmd_save(tokens);
+  if (cmd == "open") return cmd_open(tokens);
+  return {false, "unknown command '" + cmd + "' (try 'help')"};
+}
+
+Response Session::cmd_new(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3 || tokens[1] != "model")
+    return {false, "usage: new model <name>"};
+  fem::StructureModel model;
+  model.name = tokens[2];
+  workspace_.set_model(std::move(model));
+  return {true, "new model '" + tokens[2] + "'"};
+}
+
+Response Session::cmd_node(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) return {false, "usage: node <x> <y>"};
+  const auto id = workspace_.model().add_node(to_double(tokens[1]),
+                                              to_double(tokens[2]));
+  return {true, "node " + std::to_string(id)};
+}
+
+Response Session::cmd_material(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) return {false, "usage: material <name> [E= nu= A= I= t=]"};
+  fem::Material m;
+  m.name = tokens[1];
+  const Options opts(tokens, 2);
+  m.youngs_modulus = opts.number("E", m.youngs_modulus);
+  m.poisson_ratio = opts.number("nu", m.poisson_ratio);
+  m.area = opts.number("A", m.area);
+  m.moment_of_inertia = opts.number("I", m.moment_of_inertia);
+  m.thickness = opts.number("t", m.thickness);
+  m.density = opts.number("rho", m.density);
+  const auto id = workspace_.model().add_material(std::move(m));
+  return {true, "material " + std::to_string(id)};
+}
+
+Response Session::cmd_element(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4)
+    return {false, "usage: element <type> <nodes...> [mat=i]"};
+  const fem::ElementType type = element_from_name(tokens[1]);
+  const std::size_t expected = fem::element_node_count(type);
+  std::vector<std::size_t> nodes;
+  std::size_t material = 0;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i].starts_with("mat=")) {
+      material = to_index(tokens[i].substr(4));
+    } else {
+      nodes.push_back(to_index(tokens[i]));
+    }
+  }
+  if (nodes.size() != expected)
+    return {false, std::string(fem::element_type_name(type)) + " takes " +
+                       std::to_string(expected) + " nodes"};
+  auto& model = workspace_.model();
+  fem::Element e;
+  e.type = type;
+  e.material = material;
+  for (std::size_t i = 0; i < nodes.size(); ++i) e.nodes[i] = nodes[i];
+  model.elements.push_back(e);
+  return {true, "element " + std::to_string(model.elements.size() - 1)};
+}
+
+Response Session::cmd_fix(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: fix <node>"};
+  workspace_.model().fix_node(to_index(tokens[1]));
+  return {true, "fixed node " + tokens[1]};
+}
+
+Response Session::cmd_constrain(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3 || tokens.size() > 4)
+    return {false, "usage: constrain <node> <dof> [value]"};
+  const double value = tokens.size() == 4 ? to_double(tokens[3]) : 0.0;
+  workspace_.model().add_constraint(to_index(tokens[1]), to_index(tokens[2]),
+                                    value);
+  return {true, "constrained"};
+}
+
+Response Session::cmd_load(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 5)
+    return {false, "usage: load <set> <node> <dof> <value>"};
+  workspace_.model().add_load(tokens[1], to_index(tokens[2]),
+                              to_index(tokens[3]), to_double(tokens[4]));
+  return {true, "load added to set '" + tokens[1] + "'"};
+}
+
+Response Session::cmd_mesh(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2)
+    return {false, "usage: mesh plate|beam|truss [options]"};
+  const Options opts(tokens, 2);
+  if (tokens[1] == "plate") {
+    fem::PlateMeshOptions po;
+    po.nx = opts.index("nx", po.nx);
+    po.ny = opts.index("ny", po.ny);
+    po.width = opts.number("width", po.width);
+    po.height = opts.number("height", po.height);
+    if (opts.flag("tri")) po.element = fem::ElementType::Tri3;
+    po.material.youngs_modulus = opts.number("E", po.material.youngs_modulus);
+    po.material.thickness = opts.number("t", po.material.thickness);
+    const double load = opts.number("load", 1.0);
+    workspace_.set_model(fem::make_cantilever_plate(po, load));
+    return {true, "meshed cantilever plate " + std::to_string(po.nx) + "x" +
+                      std::to_string(po.ny) + " (" +
+                      std::to_string(workspace_.model().total_dofs()) +
+                      " dofs, load set 'tip-shear')"};
+  }
+  if (tokens[1] == "beam") {
+    fem::FrameOptions fo;
+    fo.segments = opts.index("segments", fo.segments);
+    fo.length = opts.number("length", fo.length);
+    const double load = opts.number("load", 1.0);
+    workspace_.set_model(fem::make_cantilever_beam(fo, load));
+    return {true, "meshed cantilever beam (" +
+                      std::to_string(fo.segments) +
+                      " segments, load set 'tip')"};
+  }
+  if (tokens[1] == "truss") {
+    fem::TrussOptions to;
+    to.bays = opts.index("bays", to.bays);
+    to.bay_width = opts.number("bay-width", to.bay_width);
+    to.height = opts.number("height", to.height);
+    const double load = opts.number("load", 1.0);
+    workspace_.set_model(fem::make_truss_bridge(to, load));
+    return {true, "meshed truss bridge (" + std::to_string(to.bays) +
+                      " bays, load set 'deck')"};
+  }
+  return {false, "unknown mesh kind '" + tokens[1] + "'"};
+}
+
+Response Session::cmd_solve(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2)
+    return {false, "usage: solve <loadset> [using <solver>] [tol=...]"};
+  fem::SolverOptions options;
+  const std::string& load_set = tokens[1];
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i] == "using" && i + 1 < tokens.size()) {
+      options.kind = solver_from_name(tokens[++i]);
+    } else if (tokens[i].starts_with("tol=")) {
+      options.tolerance = to_double(tokens[i].substr(4));
+    } else {
+      return {false, "unexpected token '" + tokens[i] + "'"};
+    }
+  }
+  fem::AnalysisResult results = fem::analyze(workspace_.model(), load_set,
+                                             options);
+  std::ostringstream os;
+  os << "solved '" << load_set << "' with " << results.solution.stats.method;
+  if (results.solution.stats.iterations > 0)
+    os << " in " << results.solution.stats.iterations << " iterations";
+  os << " (residual " << results.solution.stats.residual << ")";
+  if (!results.solution.stats.converged) os << " — DID NOT CONVERGE";
+  const bool ok = results.solution.stats.converged;
+  workspace_.set_results(std::move(results));
+  return {ok, os.str()};
+}
+
+Response Session::cmd_modes(const std::vector<std::string>& tokens) {
+  if (tokens.size() > 2) return {false, "usage: modes [count]"};
+  const std::size_t count = tokens.size() == 2 ? to_index(tokens[1]) : 4;
+  if (count == 0) return {false, "mode count must be positive"};
+  const auto modal = fem::modal_analysis(workspace_.model(), count);
+  std::ostringstream os;
+  os << "natural frequencies";
+  if (!modal.converged) os << " (NOT fully converged)";
+  os << ":";
+  os.precision(4);
+  for (std::size_t i = 0; i < modal.modes.size(); ++i)
+    os << (i ? ", " : " ") << "f" << i + 1 << "=" << modal.modes[i].frequency
+       << " Hz";
+  return {modal.converged, os.str()};
+}
+
+Response Session::cmd_stresses(const std::vector<std::string>&) {
+  const auto& results = workspace_.results();
+  const auto& peak = results.peak;
+  std::ostringstream os;
+  os << "stresses on " << results.stresses.size()
+     << " elements; peak von Mises " << peak.von_mises << " on element "
+     << peak.element;
+  return {true, os.str()};
+}
+
+Response Session::cmd_show(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2)
+    return {false, "usage: show model|displacements [node]|peak"};
+  std::ostringstream os;
+  if (tokens[1] == "model") {
+    const auto& m = workspace_.model();
+    os << "model '" << m.name << "': " << m.nodes.size() << " nodes, "
+       << m.elements.size() << " elements, " << m.constraints.size()
+       << " constraints, " << m.load_sets.size() << " load sets, "
+       << m.total_dofs() << " dofs";
+    return {true, os.str()};
+  }
+  if (tokens[1] == "displacements") {
+    const auto& u = workspace_.results().solution.displacements;
+    if (tokens.size() == 3) {
+      const std::size_t node = to_index(tokens[2]);
+      os << "node " << node << ":";
+      for (std::size_t d = 0; d < u.dofs_per_node; ++d)
+        os << " " << u.at(node, d);
+    } else {
+      double peak = 0.0;
+      std::size_t peak_node = 0;
+      const std::size_t nodes = u.values.size() / u.dofs_per_node;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        for (std::size_t d = 0; d < u.dofs_per_node; ++d) {
+          if (std::abs(u.at(n, d)) > std::abs(peak)) {
+            peak = u.at(n, d);
+            peak_node = n;
+          }
+        }
+      }
+      os << nodes << " nodes; largest displacement " << peak << " at node "
+         << peak_node;
+    }
+    return {true, os.str()};
+  }
+  if (tokens[1] == "peak") {
+    const auto& peak = workspace_.results().peak;
+    os << "peak von Mises " << peak.von_mises << " on element "
+       << peak.element;
+    return {true, os.str()};
+  }
+  return {false, "unknown show target '" + tokens[1] + "'"};
+}
+
+Response Session::cmd_store(const std::vector<std::string>& tokens) {
+  if (tokens.size() == 2) {
+    database_.store_model(tokens[1], workspace_.model());
+    return {true, "stored model as '" + tokens[1] + "'"};
+  }
+  if (tokens.size() == 3 && tokens[1] == "results") {
+    database_.store_results(tokens[2], workspace_.results());
+    return {true, "stored results as '" + tokens[2] + "'"};
+  }
+  return {false, "usage: store <name> | store results <name>"};
+}
+
+Response Session::cmd_retrieve(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: retrieve <name>"};
+  workspace_.set_model(database_.retrieve_model(tokens[1]));
+  return {true, "retrieved model '" + tokens[1] + "' into the workspace"};
+}
+
+Response Session::cmd_list(const std::vector<std::string>&) {
+  const auto entries = database_.list();
+  if (entries.empty()) return {true, "database is empty"};
+  std::ostringstream os;
+  for (const auto& e : entries)
+    os << e.kind << " '" << e.name << "' rev " << e.revision << " ("
+       << e.bytes << " bytes)\n";
+  std::string text = os.str();
+  text.pop_back();
+  return {true, text};
+}
+
+Response Session::cmd_remove(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: remove <name>"};
+  if (!database_.remove(tokens[1]))
+    return {false, "database has no entry '" + tokens[1] + "'"};
+  return {true, "removed '" + tokens[1] + "'"};
+}
+
+Response Session::cmd_save(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: save <file>"};
+  std::ofstream out(tokens[1]);
+  if (!out) return {false, "cannot write '" + tokens[1] + "'"};
+  out << serialize_model(workspace_.model());
+  return {true, "saved model to '" + tokens[1] + "'"};
+}
+
+Response Session::cmd_open(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: open <file>"};
+  std::ifstream in(tokens[1]);
+  if (!in) return {false, "cannot read '" + tokens[1] + "'"};
+  std::ostringstream text;
+  text << in.rdbuf();
+  workspace_.set_model(parse_model(text.str()));
+  return {true, "opened model '" + workspace_.model().name + "' from '" +
+                    tokens[1] + "'"};
+}
+
+std::string Session::help_text() {
+  return
+      "commands:\n"
+      "  new model <name>                     start an empty model\n"
+      "  node <x> <y>                         add a node\n"
+      "  material <name> [E= nu= A= I= t=]    add a material\n"
+      "  element <bar|beam|tri|quad> <nodes...> [mat=i]\n"
+      "  fix <node>                           constrain all dofs of a node\n"
+      "  constrain <node> <dof> [value]       single-point constraint\n"
+      "  load <set> <node> <dof> <value>      add a point load\n"
+      "  mesh plate [nx= ny= width= height= load= tri]\n"
+      "  mesh beam  [segments= length= load=]\n"
+      "  mesh truss [bays= bay-width= height= load=]\n"
+      "  solve <loadset> [using <solver>] [tol=...]\n"
+      "  modes [count]                        natural frequencies\n"
+      "  stresses                             recover element stresses\n"
+      "  show model|displacements [node]|peak\n"
+      "  store <name> / store results <name>  save to the shared database\n"
+      "  retrieve <name>                      load a model from the database\n"
+      "  list / remove <name>                 database operations\n"
+      "  save <file> / open <file>            model files on disk\n"
+      "  help";
+}
+
+}  // namespace fem2::appvm

@@ -1,0 +1,68 @@
+// The interactive command language — the application user's VM sequence
+// control is "direct interpretation of user commands".  A Session couples a
+// private Workspace with the shared Database; multiple sessions over one
+// database model the multi-user workstation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appvm/database.hpp"
+#include "appvm/workspace.hpp"
+
+namespace fem2::appvm {
+
+struct Response {
+  bool ok = true;
+  std::string text;
+};
+
+class Session {
+ public:
+  explicit Session(Database& database, std::string user = "engineer");
+
+  /// Interpret one command line.  Errors come back as ok=false responses,
+  /// never exceptions — an interactive console must survive typos.
+  Response execute(const std::string& line);
+
+  /// Run a newline-separated script; stops at the first failure unless
+  /// `keep_going`.
+  std::vector<Response> execute_script(const std::string& script,
+                                       bool keep_going = false);
+
+  Workspace& workspace() { return workspace_; }
+  const Workspace& workspace() const { return workspace_; }
+  Database& database() { return database_; }
+  const std::string& user() const { return user_; }
+
+  /// Command language reference (the `help` command's output).
+  static std::string help_text();
+
+ private:
+  Response dispatch(const std::vector<std::string>& tokens);
+
+  Response cmd_new(const std::vector<std::string>& tokens);
+  Response cmd_node(const std::vector<std::string>& tokens);
+  Response cmd_material(const std::vector<std::string>& tokens);
+  Response cmd_element(const std::vector<std::string>& tokens);
+  Response cmd_fix(const std::vector<std::string>& tokens);
+  Response cmd_constrain(const std::vector<std::string>& tokens);
+  Response cmd_load(const std::vector<std::string>& tokens);
+  Response cmd_mesh(const std::vector<std::string>& tokens);
+  Response cmd_solve(const std::vector<std::string>& tokens);
+  Response cmd_modes(const std::vector<std::string>& tokens);
+  Response cmd_stresses(const std::vector<std::string>& tokens);
+  Response cmd_show(const std::vector<std::string>& tokens);
+  Response cmd_store(const std::vector<std::string>& tokens);
+  Response cmd_retrieve(const std::vector<std::string>& tokens);
+  Response cmd_list(const std::vector<std::string>& tokens);
+  Response cmd_remove(const std::vector<std::string>& tokens);
+  Response cmd_save(const std::vector<std::string>& tokens);
+  Response cmd_open(const std::vector<std::string>& tokens);
+
+  Database& database_;
+  Workspace workspace_;
+  std::string user_;
+};
+
+}  // namespace fem2::appvm

@@ -1,0 +1,63 @@
+#include "appvm/database.hpp"
+
+#include "appvm/serialize.hpp"
+
+namespace fem2::appvm {
+
+void Database::store_model(const std::string& name,
+                           const fem::StructureModel& model) {
+  auto& entry = models_[name];
+  entry.text = serialize_model(model);
+  entry.revision += 1;
+}
+
+fem::StructureModel Database::retrieve_model(const std::string& name) const {
+  const auto it = models_.find(name);
+  if (it == models_.end())
+    throw support::Error("database has no model named '" + name + "'");
+  return parse_model(it->second.text);
+}
+
+void Database::store_results(const std::string& name,
+                             fem::AnalysisResult results) {
+  auto& entry = results_[name];
+  entry.results = std::move(results);
+  entry.revision += 1;
+}
+
+const fem::AnalysisResult& Database::retrieve_results(
+    const std::string& name) const {
+  const auto it = results_.find(name);
+  if (it == results_.end())
+    throw support::Error("database has no results named '" + name + "'");
+  return it->second.results;
+}
+
+bool Database::contains(const std::string& name) const {
+  return models_.contains(name) || results_.contains(name);
+}
+
+bool Database::remove(const std::string& name) {
+  return models_.erase(name) > 0 || results_.erase(name) > 0;
+}
+
+std::vector<DatabaseEntryInfo> Database::list() const {
+  std::vector<DatabaseEntryInfo> out;
+  for (const auto& [name, entry] : models_)
+    out.push_back({name, "model", entry.text.size(), entry.revision});
+  for (const auto& [name, entry] : results_) {
+    const std::size_t bytes =
+        entry.results.solution.displacements.values.size() * sizeof(double) +
+        entry.results.stresses.size() * sizeof(fem::ElementStress);
+    out.push_back({name, "results", bytes, entry.revision});
+  }
+  return out;
+}
+
+std::size_t Database::storage_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& info : list()) bytes += info.bytes;
+  return bytes;
+}
+
+}  // namespace fem2::appvm

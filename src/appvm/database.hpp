@@ -1,0 +1,58 @@
+// The application user's "data base (long-term storage; shared data)":
+// a named store of serialized models and analysis results, shared by all
+// user sessions (multi-user access is one of the FEM-2 requirements).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fem/analysis.hpp"
+#include "fem/model.hpp"
+
+namespace fem2::appvm {
+
+struct DatabaseEntryInfo {
+  std::string name;
+  std::string kind;  ///< "model" or "results"
+  std::size_t bytes = 0;
+  std::uint64_t revision = 0;
+};
+
+class Database {
+ public:
+  /// Store (serialize) a model under `name`; bumps the revision if present.
+  void store_model(const std::string& name, const fem::StructureModel& model);
+
+  /// Retrieve (parse) a stored model.  Throws support::Error if absent.
+  fem::StructureModel retrieve_model(const std::string& name) const;
+
+  void store_results(const std::string& name, fem::AnalysisResult results);
+  const fem::AnalysisResult& retrieve_results(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  bool remove(const std::string& name);
+  std::vector<DatabaseEntryInfo> list() const;
+  std::size_t size() const { return models_.size() + results_.size(); }
+
+  /// Total serialized bytes held (storage accounting).
+  std::size_t storage_bytes() const;
+
+ private:
+  struct ModelEntry {
+    std::string text;  ///< serialized form — the database stores records,
+                       ///< not live objects (a workspace copy is private)
+    std::uint64_t revision = 0;
+  };
+  struct ResultsEntry {
+    fem::AnalysisResult results;
+    std::uint64_t revision = 0;
+  };
+
+  std::map<std::string, ModelEntry> models_;
+  std::map<std::string, ResultsEntry> results_;
+};
+
+}  // namespace fem2::appvm

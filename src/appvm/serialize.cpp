@@ -1,0 +1,175 @@
+#include "appvm/serialize.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace fem2::appvm {
+
+namespace {
+
+double parse_double(const std::string& token, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw SerializeError("line " + std::to_string(line) +
+                         ": expected a number, found '" + token + "'");
+  }
+}
+
+std::size_t parse_index(const std::string& token, std::size_t line) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw SerializeError("line " + std::to_string(line) +
+                         ": expected an index, found '" + token + "'");
+  }
+  return value;
+}
+
+/// Extract the value of a key=value token; returns false if key mismatch.
+bool keyed(const std::string& token, std::string_view key,
+           std::string& value_out) {
+  if (token.size() <= key.size() + 1) return false;
+  if (!token.starts_with(key) || token[key.size()] != '=') return false;
+  value_out = token.substr(key.size() + 1);
+  return true;
+}
+
+fem::ElementType element_type_from_name(const std::string& name,
+                                        std::size_t line) {
+  if (name == "bar2") return fem::ElementType::Bar2;
+  if (name == "beam2") return fem::ElementType::Beam2;
+  if (name == "tri3") return fem::ElementType::Tri3;
+  if (name == "quad4") return fem::ElementType::Quad4;
+  throw SerializeError("line " + std::to_string(line) +
+                       ": unknown element type '" + name + "'");
+}
+
+}  // namespace
+
+std::string serialize_model(const fem::StructureModel& model) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "model " << model.name << "\n";
+  for (const auto& n : model.nodes) os << "node " << n.x << " " << n.y << "\n";
+  for (const auto& m : model.materials) {
+    os << "material " << m.name << " E=" << m.youngs_modulus
+       << " nu=" << m.poisson_ratio << " A=" << m.area
+       << " I=" << m.moment_of_inertia << " t=" << m.thickness
+       << " rho=" << m.density << "\n";
+  }
+  for (const auto& e : model.elements) {
+    os << "element " << fem::element_type_name(e.type);
+    for (std::size_t i = 0; i < e.node_count(); ++i) os << " " << e.nodes[i];
+    os << " mat=" << e.material << "\n";
+  }
+  for (const auto& c : model.constraints)
+    os << "constraint " << c.node << " " << c.dof << " " << c.value << "\n";
+  for (const auto& [set_name, set] : model.load_sets)
+    for (const auto& load : set.loads)
+      os << "load " << set_name << " " << load.node << " " << load.dof << " "
+         << load.value << "\n";
+  return os.str();
+}
+
+fem::StructureModel parse_model(const std::string& text) {
+  fem::StructureModel model;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_model = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = support::split_ws(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "model") {
+      if (tokens.size() != 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": model takes a single name");
+      model.name = tokens[1];
+      saw_model = true;
+    } else if (kind == "node") {
+      if (tokens.size() != 3)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": node takes x y");
+      model.add_node(parse_double(tokens[1], line_no),
+                     parse_double(tokens[2], line_no));
+    } else if (kind == "material") {
+      if (tokens.size() < 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": material needs a name");
+      fem::Material m;
+      m.name = tokens[1];
+      std::string value;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (keyed(tokens[i], "E", value)) m.youngs_modulus = parse_double(value, line_no);
+        else if (keyed(tokens[i], "nu", value)) m.poisson_ratio = parse_double(value, line_no);
+        else if (keyed(tokens[i], "A", value)) m.area = parse_double(value, line_no);
+        else if (keyed(tokens[i], "I", value)) m.moment_of_inertia = parse_double(value, line_no);
+        else if (keyed(tokens[i], "t", value)) m.thickness = parse_double(value, line_no);
+        else if (keyed(tokens[i], "rho", value)) m.density = parse_double(value, line_no);
+        else
+          throw SerializeError("line " + std::to_string(line_no) +
+                               ": unknown material property '" + tokens[i] +
+                               "'");
+      }
+      model.add_material(std::move(m));
+    } else if (kind == "element") {
+      if (tokens.size() < 4)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": element needs a type and nodes");
+      const fem::ElementType type = element_type_from_name(tokens[1], line_no);
+      const std::size_t expected = fem::element_node_count(type);
+      std::size_t material = 0;
+      std::vector<std::size_t> nodes;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string value;
+        if (keyed(tokens[i], "mat", value)) {
+          material = parse_index(value, line_no);
+        } else {
+          nodes.push_back(parse_index(tokens[i], line_no));
+        }
+      }
+      if (nodes.size() != expected)
+        throw SerializeError("line " + std::to_string(line_no) + ": " +
+                             std::string(fem::element_type_name(type)) +
+                             " takes " + std::to_string(expected) + " nodes");
+      fem::Element e;
+      e.type = type;
+      e.material = material;
+      for (std::size_t i = 0; i < nodes.size(); ++i) e.nodes[i] = nodes[i];
+      model.elements.push_back(e);
+    } else if (kind == "constraint") {
+      if (tokens.size() != 4)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": constraint takes node dof value");
+      model.add_constraint(parse_index(tokens[1], line_no),
+                           parse_index(tokens[2], line_no),
+                           parse_double(tokens[3], line_no));
+    } else if (kind == "load") {
+      if (tokens.size() != 5)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": load takes set node dof value");
+      model.add_load(tokens[1], parse_index(tokens[2], line_no),
+                     parse_index(tokens[3], line_no),
+                     parse_double(tokens[4], line_no));
+    } else {
+      throw SerializeError("line " + std::to_string(line_no) +
+                           ": unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_model)
+    throw SerializeError("model text has no 'model <name>' record");
+  return model;
+}
+
+}  // namespace fem2::appvm

@@ -1,0 +1,30 @@
+// Text serialization of structural models — the representation the
+// database stores ("long-term storage; shared data") and the format the
+// interactive session can import/export.
+#pragma once
+
+#include <string>
+
+#include "fem/model.hpp"
+#include "support/check.hpp"
+
+namespace fem2::appvm {
+
+class SerializeError : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+/// Deterministic, line-oriented model text:
+///   model <name>
+///   node <x> <y>
+///   material <name> E=<v> nu=<v> A=<v> I=<v> t=<v>
+///   element <type> <n0> <n1> [...] mat=<idx>
+///   constraint <node> <dof> <value>
+///   load <set> <node> <dof> <value>
+std::string serialize_model(const fem::StructureModel& model);
+
+/// Inverse of serialize_model.  Throws SerializeError on malformed text.
+fem::StructureModel parse_model(const std::string& text);
+
+}  // namespace fem2::appvm

@@ -1,0 +1,35 @@
+#include "appvm/workspace.hpp"
+
+#include "support/check.hpp"
+
+namespace fem2::appvm {
+
+fem::StructureModel& Workspace::model() {
+  FEM2_CHECK_MSG(model_.has_value(),
+                 "no model in the workspace (use 'new model' or 'retrieve')");
+  return *model_;
+}
+
+const fem::StructureModel& Workspace::model() const {
+  FEM2_CHECK_MSG(model_.has_value(),
+                 "no model in the workspace (use 'new model' or 'retrieve')");
+  return *model_;
+}
+
+const fem::AnalysisResult& Workspace::results() const {
+  FEM2_CHECK_MSG(results_.has_value(),
+                 "no analysis results in the workspace (use 'solve')");
+  return *results_;
+}
+
+std::size_t Workspace::storage_bytes() const {
+  std::size_t bytes = 0;
+  if (model_) bytes += model_->storage_bytes();
+  if (results_) {
+    bytes += results_->solution.displacements.values.size() * sizeof(double);
+    bytes += results_->stresses.size() * sizeof(fem::ElementStress);
+  }
+  return bytes;
+}
+
+}  // namespace fem2::appvm

@@ -1,0 +1,15 @@
+#include "fem/analysis.hpp"
+
+namespace fem2::fem {
+
+AnalysisResult analyze(const StructureModel& model,
+                       const std::string& load_set,
+                       const SolverOptions& options) {
+  AnalysisResult out;
+  out.solution = solve_static(model, load_set, options);
+  out.stresses = compute_stresses(model, out.solution.displacements);
+  out.peak = peak_stress(out.stresses);
+  return out;
+}
+
+}  // namespace fem2::fem

@@ -1,0 +1,22 @@
+// End-to-end analysis pipeline: assemble → solve → recover stresses.
+// This is the engine behind the application user's "solve structure
+// model/load set for displacements" and "calculate stresses" commands.
+#pragma once
+
+#include "fem/model.hpp"
+#include "fem/solver.hpp"
+#include "fem/stress.hpp"
+
+namespace fem2::fem {
+
+struct AnalysisResult {
+  StaticSolution solution;
+  std::vector<ElementStress> stresses;
+  ElementStress peak;
+};
+
+AnalysisResult analyze(const StructureModel& model,
+                       const std::string& load_set,
+                       const SolverOptions& options = {});
+
+}  // namespace fem2::fem

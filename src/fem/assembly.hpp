@@ -1,0 +1,54 @@
+// Global system assembly: dof numbering, element merge, constraint
+// elimination, and load-set vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fem/model.hpp"
+#include "la/sparse.hpp"
+
+namespace fem2::fem {
+
+/// Mapping between the full nodal dof space and the reduced (free) space
+/// after single-point constraints are eliminated.
+struct DofMap {
+  std::size_t dofs_per_node = 2;
+  std::size_t full_dofs = 0;
+  std::size_t free_dofs = 0;
+  std::vector<std::ptrdiff_t> full_to_reduced;  ///< -1 for constrained dofs
+  std::vector<std::size_t> reduced_to_full;
+  std::vector<double> prescribed;  ///< full-length prescribed values
+
+  std::size_t full_index(std::size_t node, std::size_t dof) const {
+    return node * dofs_per_node + dof;
+  }
+  bool is_free(std::size_t full) const {
+    return full_to_reduced[full] >= 0;
+  }
+};
+
+DofMap build_dof_map(const StructureModel& model);
+
+/// Reduced stiffness system K_ff plus the K_fc·u_c correction needed when
+/// constraints prescribe nonzero values.
+struct AssembledSystem {
+  DofMap dofs;
+  la::CsrMatrix stiffness;              ///< free × free
+  std::vector<double> rhs_correction;   ///< subtracted from every load vector
+
+  /// Reduced right-hand side for a load set.
+  std::vector<double> load_vector(const LoadSet& loads) const;
+
+  /// Expand a reduced solution into full nodal displacements (prescribed
+  /// dofs take their constraint values).
+  Displacements expand(std::span<const double> reduced) const;
+};
+
+AssembledSystem assemble(const StructureModel& model);
+
+/// Assembly cost model used by the simulated parallel pipeline: floating
+/// point work to form and merge all element matrices.
+std::uint64_t assembly_flops(const StructureModel& model);
+
+}  // namespace fem2::fem

@@ -1,0 +1,187 @@
+#include "fem/dynamics.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fem/element.hpp"
+#include "la/dense.hpp"
+#include "la/vec_ops.hpp"
+
+namespace fem2::fem {
+
+namespace {
+
+/// Mass of one element (translational).
+double element_mass(const StructureModel& model, const Element& e) {
+  const Material& m = model.materials[e.material];
+  switch (e.type) {
+    case ElementType::Bar2:
+    case ElementType::Beam2: {
+      const Node& a = model.nodes[e.nodes[0]];
+      const Node& b = model.nodes[e.nodes[1]];
+      const double length = std::hypot(b.x - a.x, b.y - a.y);
+      return m.density * m.area * length;
+    }
+    case ElementType::Tri3: {
+      const double area = std::abs(triangle_area(model.nodes[e.nodes[0]],
+                                                 model.nodes[e.nodes[1]],
+                                                 model.nodes[e.nodes[2]]));
+      return m.density * m.thickness * area;
+    }
+    case ElementType::Quad4: {
+      // Split the quad into two triangles for its area.
+      const double a1 = triangle_area(model.nodes[e.nodes[0]],
+                                      model.nodes[e.nodes[1]],
+                                      model.nodes[e.nodes[2]]);
+      const double a2 = triangle_area(model.nodes[e.nodes[0]],
+                                      model.nodes[e.nodes[2]],
+                                      model.nodes[e.nodes[3]]);
+      return m.density * m.thickness * (std::abs(a1) + std::abs(a2));
+    }
+  }
+  FEM2_UNREACHABLE("bad ElementType");
+}
+
+}  // namespace
+
+double total_mass(const StructureModel& model) {
+  double mass = 0.0;
+  for (const auto& e : model.elements) mass += element_mass(model, e);
+  return mass;
+}
+
+la::CsrMatrix lumped_mass_matrix(const StructureModel& model,
+                                 const DofMap& dofs) {
+  std::vector<double> nodal_mass(model.nodes.size(), 0.0);
+  std::vector<double> nodal_inertia(model.nodes.size(), 0.0);
+
+  for (const auto& e : model.elements) {
+    const double share =
+        element_mass(model, e) / static_cast<double>(e.node_count());
+    for (std::size_t i = 0; i < e.node_count(); ++i)
+      nodal_mass[e.nodes[i]] += share;
+    if (e.type == ElementType::Beam2) {
+      // Rotary inertia of the tributary half-segment: m L² / 24 per end
+      // (lumped-beam convention).
+      const Node& a = model.nodes[e.nodes[0]];
+      const Node& b = model.nodes[e.nodes[1]];
+      const double length = std::hypot(b.x - a.x, b.y - a.y);
+      const double inertia = element_mass(model, e) * length * length / 24.0;
+      nodal_inertia[e.nodes[0]] += inertia / 2.0;
+      nodal_inertia[e.nodes[1]] += inertia / 2.0;
+    }
+  }
+
+  la::TripletBuilder builder(dofs.free_dofs, dofs.free_dofs);
+  for (std::size_t node = 0; node < model.nodes.size(); ++node) {
+    for (std::size_t d = 0; d < dofs.dofs_per_node; ++d) {
+      const std::ptrdiff_t reduced =
+          dofs.full_to_reduced[dofs.full_index(node, d)];
+      if (reduced < 0) continue;
+      const double value = d < 2 ? nodal_mass[node] : nodal_inertia[node];
+      // Keep the matrix nonsingular even for massless rotational dofs.
+      builder.add(static_cast<std::size_t>(reduced),
+                  static_cast<std::size_t>(reduced),
+                  std::max(value, 1e-12));
+    }
+  }
+  return builder.build();
+}
+
+ModalResult modal_analysis(const StructureModel& model,
+                           std::size_t mode_count,
+                           const la::EigenOptions& options) {
+  const AssembledSystem system = assemble(model);
+  const la::CsrMatrix mass = lumped_mass_matrix(model, system.dofs);
+
+  la::EigenOptions eig = options;
+  eig.modes = mode_count;
+  const auto eigen = la::lowest_eigenpairs(system.stiffness, mass, eig);
+
+  ModalResult result;
+  result.converged = eigen.converged;
+  result.iterations = eigen.iterations;
+  result.modes.reserve(eigen.pairs.size());
+  for (const auto& pair : eigen.pairs) {
+    Mode mode;
+    mode.omega = std::sqrt(std::max(pair.value, 0.0));
+    mode.frequency = mode.omega / (2.0 * std::numbers::pi);
+    mode.shape = system.expand(pair.vector);
+    result.modes.push_back(std::move(mode));
+  }
+  return result;
+}
+
+TransientResult newmark_transient(
+    const StructureModel& model,
+    const std::function<std::vector<double>(double time)>& force,
+    const NewmarkOptions& options) {
+  FEM2_CHECK(options.dt > 0.0);
+  FEM2_CHECK(options.beta > 0.0 && options.gamma >= 0.5);
+
+  const AssembledSystem system = assemble(model);
+  const la::CsrMatrix& k = system.stiffness;
+  const la::CsrMatrix m = lumped_mass_matrix(model, system.dofs);
+  const std::size_t n = k.rows();
+  const double dt = options.dt;
+  const double beta = options.beta;
+  const double gamma = options.gamma;
+
+  // Effective stiffness K* = K + γ/(βΔt) C + 1/(βΔt²) M, with C = α_m M.
+  const double mass_coeff =
+      1.0 / (beta * dt * dt) + options.alpha_m * gamma / (beta * dt);
+  la::DenseMatrix k_eff = k.to_dense();
+  const auto m_diag = m.diagonal();
+  for (std::size_t i = 0; i < n; ++i)
+    k_eff(i, i) += mass_coeff * m_diag[i];
+  la::CholeskyFactorization chol(k_eff);
+
+  std::vector<double> u(n, 0.0), v(n, 0.0), a(n, 0.0);
+  {
+    // Initial acceleration from the t = 0 equilibrium: M a0 = f(0) - K·0.
+    const auto f0 = force(0.0);
+    FEM2_CHECK(f0.size() == n);
+    for (std::size_t i = 0; i < n; ++i) a[i] = f0[i] / m_diag[i];
+  }
+
+  TransientResult result;
+  result.samples.reserve(options.steps + 1);
+  result.samples.push_back({0.0, u});
+
+  for (std::size_t step = 1; step <= options.steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    const auto f = force(t);
+    FEM2_CHECK(f.size() == n);
+
+    // Newmark predictors.
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u_pred =
+          u[i] / (beta * dt * dt) + v[i] / (beta * dt) +
+          (1.0 / (2.0 * beta) - 1.0) * a[i];
+      const double v_pred =
+          options.alpha_m *
+          (gamma / (beta * dt) * u[i] + (gamma / beta - 1.0) * v[i] +
+           dt * (gamma / (2.0 * beta) - 1.0) * a[i]);
+      rhs[i] = f[i] + m_diag[i] * (u_pred + v_pred);
+    }
+    const auto u_next = chol.solve(rhs);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a_next = (u_next[i] - u[i]) / (beta * dt * dt) -
+                            v[i] / (beta * dt) -
+                            (1.0 / (2.0 * beta) - 1.0) * a[i];
+      const double v_next =
+          v[i] + dt * ((1.0 - gamma) * a[i] + gamma * a_next);
+      u[i] = u_next[i];
+      v[i] = v_next;
+      a[i] = a_next;
+    }
+    result.samples.push_back({t, u});
+    result.peak_abs_displacement =
+        std::max(result.peak_abs_displacement, la::norm_inf(u));
+  }
+  return result;
+}
+
+}  // namespace fem2::fem

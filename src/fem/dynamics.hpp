@@ -1,0 +1,66 @@
+// Structural dynamics: mass matrices, natural frequencies/mode shapes, and
+// Newmark-β transient response — the vibration side of the structural
+// engineer's application package.
+#pragma once
+
+#include <functional>
+
+#include "fem/assembly.hpp"
+#include "fem/model.hpp"
+#include "la/eigen.hpp"
+
+namespace fem2::fem {
+
+/// Lumped (diagonal) mass matrix in the reduced dof space: element mass
+/// split equally over its nodes; rotational dofs of beams get the
+/// rotary inertia of the tributary segment.
+la::CsrMatrix lumped_mass_matrix(const StructureModel& model,
+                                 const DofMap& dofs);
+
+/// Total translational mass of the model (sanity checks / tests).
+double total_mass(const StructureModel& model);
+
+struct Mode {
+  double omega = 0.0;      ///< natural circular frequency [rad/s]
+  double frequency = 0.0;  ///< f = ω / 2π [Hz]
+  Displacements shape;     ///< M-normalized, expanded to full dofs
+};
+
+struct ModalResult {
+  std::vector<Mode> modes;  ///< ascending frequency
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Lowest natural frequencies and mode shapes of the constrained model.
+ModalResult modal_analysis(const StructureModel& model,
+                           std::size_t mode_count = 4,
+                           const la::EigenOptions& options = {});
+
+struct NewmarkOptions {
+  double dt = 1e-3;
+  std::size_t steps = 1000;
+  double beta = 0.25;    ///< average-acceleration (unconditionally stable)
+  double gamma = 0.5;
+  /// Mass-proportional (Rayleigh) damping C = alpha_m M.
+  double alpha_m = 0.0;
+};
+
+struct TransientSample {
+  double time = 0.0;
+  std::vector<double> displacement;  ///< reduced dofs
+};
+
+struct TransientResult {
+  std::vector<TransientSample> samples;  ///< one per step (plus t = 0)
+  double peak_abs_displacement = 0.0;
+};
+
+/// Newmark-β integration of M ü + C u̇ + K u = f(t) from rest, with the
+/// force given per reduced dof as a function of time.
+TransientResult newmark_transient(
+    const StructureModel& model,
+    const std::function<std::vector<double>(double time)>& force,
+    const NewmarkOptions& options = {});
+
+}  // namespace fem2::fem

@@ -1,0 +1,122 @@
+#include "fem/mesh.hpp"
+
+namespace fem2::fem {
+
+std::size_t plate_node(const PlateMeshOptions& options, std::size_t i,
+                       std::size_t j) {
+  FEM2_CHECK(i <= options.nx && j <= options.ny);
+  return j * (options.nx + 1) + i;
+}
+
+StructureModel make_plate(const PlateMeshOptions& options) {
+  FEM2_CHECK(options.nx > 0 && options.ny > 0);
+  FEM2_CHECK_MSG(options.element == ElementType::Quad4 ||
+                     options.element == ElementType::Tri3,
+                 "plates are meshed with Quad4 or Tri3 elements");
+  StructureModel model;
+  model.name = "plate";
+  const std::size_t mat = model.add_material(options.material);
+
+  const double dx = options.width / static_cast<double>(options.nx);
+  const double dy = options.height / static_cast<double>(options.ny);
+  for (std::size_t j = 0; j <= options.ny; ++j)
+    for (std::size_t i = 0; i <= options.nx; ++i)
+      model.add_node(static_cast<double>(i) * dx,
+                     static_cast<double>(j) * dy);
+
+  for (std::size_t j = 0; j < options.ny; ++j) {
+    for (std::size_t i = 0; i < options.nx; ++i) {
+      const std::size_t n00 = plate_node(options, i, j);
+      const std::size_t n10 = plate_node(options, i + 1, j);
+      const std::size_t n11 = plate_node(options, i + 1, j + 1);
+      const std::size_t n01 = plate_node(options, i, j + 1);
+      if (options.element == ElementType::Quad4) {
+        model.add_element(ElementType::Quad4, {n00, n10, n11, n01}, mat);
+      } else {
+        // Split each cell into two CCW triangles.
+        model.add_element(ElementType::Tri3, {n00, n10, n11}, mat);
+        model.add_element(ElementType::Tri3, {n00, n11, n01}, mat);
+      }
+    }
+  }
+  return model;
+}
+
+StructureModel make_cantilever_plate(const PlateMeshOptions& options,
+                                     double total_load) {
+  StructureModel model = make_plate(options);
+  model.name = "cantilever-plate";
+  for (std::size_t j = 0; j <= options.ny; ++j)
+    model.fix_node(plate_node(options, 0, j));
+
+  // Distribute the shear over the right edge (half weight at the corners).
+  const std::size_t edge_nodes = options.ny + 1;
+  const double per_interior =
+      total_load / static_cast<double>(edge_nodes - 1);
+  for (std::size_t j = 0; j <= options.ny; ++j) {
+    const bool corner = j == 0 || j == options.ny;
+    model.add_load("tip-shear", plate_node(options, options.nx, j), 1,
+                   corner ? -per_interior / 2.0 : -per_interior);
+  }
+  return model;
+}
+
+StructureModel make_cantilever_beam(const FrameOptions& options,
+                                    double tip_load) {
+  FEM2_CHECK(options.segments > 0);
+  StructureModel model;
+  model.name = "cantilever-beam";
+  const std::size_t mat = model.add_material(options.material);
+  const double dx = options.length / static_cast<double>(options.segments);
+  for (std::size_t i = 0; i <= options.segments; ++i)
+    model.add_node(static_cast<double>(i) * dx, 0.0);
+  for (std::size_t i = 0; i < options.segments; ++i)
+    model.add_element(ElementType::Beam2, {i, i + 1}, mat);
+  model.fix_node(0);
+  model.add_load("tip", options.segments, 1, -tip_load);
+  return model;
+}
+
+StructureModel make_truss_bridge(const TrussOptions& options,
+                                 double load_per_joint) {
+  FEM2_CHECK(options.bays >= 2);
+  StructureModel model;
+  model.name = "truss-bridge";
+  const std::size_t mat = model.add_material(options.material);
+
+  // Bottom chord nodes 0..bays, top chord nodes bays+1 .. 2*bays-... one
+  // top node per interior panel point plus ends.
+  std::vector<std::size_t> bottom(options.bays + 1);
+  std::vector<std::size_t> top(options.bays + 1);
+  for (std::size_t i = 0; i <= options.bays; ++i)
+    bottom[i] = model.add_node(static_cast<double>(i) * options.bay_width, 0.0);
+  for (std::size_t i = 0; i <= options.bays; ++i)
+    top[i] = model.add_node(static_cast<double>(i) * options.bay_width,
+                            options.height);
+
+  for (std::size_t i = 0; i < options.bays; ++i) {
+    model.add_element(ElementType::Bar2, {bottom[i], bottom[i + 1]}, mat);
+    model.add_element(ElementType::Bar2, {top[i], top[i + 1]}, mat);
+  }
+  for (std::size_t i = 0; i <= options.bays; ++i)
+    model.add_element(ElementType::Bar2, {bottom[i], top[i]}, mat);
+  // Pratt diagonals leaning toward midspan.
+  for (std::size_t i = 0; i < options.bays; ++i) {
+    if (i < options.bays / 2) {
+      model.add_element(ElementType::Bar2, {top[i], bottom[i + 1]}, mat);
+    } else {
+      model.add_element(ElementType::Bar2, {bottom[i], top[i + 1]}, mat);
+    }
+  }
+
+  // Simple supports: pin at the left (both dofs), roller at the right.
+  model.add_constraint(bottom[0], 0);
+  model.add_constraint(bottom[0], 1);
+  model.add_constraint(bottom[options.bays], 1);
+
+  for (std::size_t i = 1; i < options.bays; ++i)
+    model.add_load("deck", bottom[i], 1, -load_per_joint);
+  return model;
+}
+
+}  // namespace fem2::fem

@@ -1,0 +1,57 @@
+// Grid generation — the application user's "generate grid" operation.
+// Produces complete structural models for the workloads the paper's
+// applications revolve around: frames, trusses and plane-stress sheets.
+#pragma once
+
+#include "fem/model.hpp"
+
+namespace fem2::fem {
+
+struct PlateMeshOptions {
+  std::size_t nx = 8;           ///< elements along x
+  std::size_t ny = 4;           ///< elements along y
+  double width = 2.0;           ///< m
+  double height = 1.0;          ///< m
+  ElementType element = ElementType::Quad4;  ///< Quad4 or Tri3
+  Material material = {};
+
+  std::size_t node_count() const { return (nx + 1) * (ny + 1); }
+};
+
+/// Rectangular plane-stress sheet; node (i, j) = j*(nx+1)+i, i along x.
+StructureModel make_plate(const PlateMeshOptions& options);
+
+/// Plate fixed along its left edge with a downward shear load distributed
+/// over the right edge — the canonical cantilever sheet used throughout the
+/// benches ("typical large-scale application").
+StructureModel make_cantilever_plate(const PlateMeshOptions& options,
+                                     double total_load);
+
+struct FrameOptions {
+  std::size_t segments = 8;
+  double length = 4.0;  ///< m
+  Material material = {};
+};
+
+/// Horizontal cantilever of beam elements, fixed at node 0; load set
+/// "tip" applies a unit transverse tip force (scale with add_load).
+StructureModel make_cantilever_beam(const FrameOptions& options,
+                                    double tip_load);
+
+struct TrussOptions {
+  std::size_t bays = 6;      ///< number of bays along the span
+  double bay_width = 1.0;    ///< m
+  double height = 1.0;       ///< m
+  Material material = {};
+};
+
+/// Planar Pratt-style truss: top/bottom chords, verticals and diagonals,
+/// simply supported at both ends, unit downward loads on the bottom chord.
+StructureModel make_truss_bridge(const TrussOptions& options,
+                                 double load_per_joint);
+
+/// Index of the plate node at grid position (i, j).
+std::size_t plate_node(const PlateMeshOptions& options, std::size_t i,
+                       std::size_t j);
+
+}  // namespace fem2::fem

@@ -1,0 +1,145 @@
+#include "fem/model.hpp"
+
+#include <cmath>
+
+namespace fem2::fem {
+
+std::string_view element_type_name(ElementType t) {
+  switch (t) {
+    case ElementType::Bar2: return "bar2";
+    case ElementType::Beam2: return "beam2";
+    case ElementType::Tri3: return "tri3";
+    case ElementType::Quad4: return "quad4";
+  }
+  FEM2_UNREACHABLE("bad ElementType");
+}
+
+std::size_t element_node_count(ElementType t) {
+  switch (t) {
+    case ElementType::Bar2:
+    case ElementType::Beam2:
+      return 2;
+    case ElementType::Tri3:
+      return 3;
+    case ElementType::Quad4:
+      return 4;
+  }
+  FEM2_UNREACHABLE("bad ElementType");
+}
+
+std::size_t element_dofs_per_node(ElementType t) {
+  return t == ElementType::Beam2 ? 3 : 2;
+}
+
+std::size_t StructureModel::add_node(double x, double y) {
+  nodes.push_back({x, y});
+  return nodes.size() - 1;
+}
+
+std::size_t StructureModel::add_material(Material material) {
+  materials.push_back(std::move(material));
+  return materials.size() - 1;
+}
+
+std::size_t StructureModel::add_element(
+    ElementType type, std::initializer_list<std::size_t> element_nodes,
+    std::size_t material) {
+  FEM2_CHECK_MSG(element_nodes.size() == element_node_count(type),
+                 "wrong node count for element type");
+  Element e;
+  e.type = type;
+  e.material = material;
+  std::size_t i = 0;
+  for (const std::size_t n : element_nodes) e.nodes[i++] = n;
+  elements.push_back(e);
+  return elements.size() - 1;
+}
+
+void StructureModel::fix_node(std::size_t node) {
+  for (std::size_t dof = 0; dof < dofs_per_node(); ++dof)
+    add_constraint(node, dof, 0.0);
+}
+
+void StructureModel::add_constraint(std::size_t node, std::size_t dof,
+                                    double value) {
+  constraints.push_back({node, dof, value});
+}
+
+LoadSet& StructureModel::load_set(const std::string& set_name) {
+  auto [it, inserted] = load_sets.try_emplace(set_name);
+  if (inserted) it->second.name = set_name;
+  return it->second;
+}
+
+void StructureModel::add_load(const std::string& set, std::size_t node,
+                              std::size_t dof, double value) {
+  load_set(set).loads.push_back({node, dof, value});
+}
+
+std::size_t StructureModel::dofs_per_node() const {
+  for (const auto& e : elements)
+    if (e.type == ElementType::Beam2) return 3;
+  return 2;
+}
+
+void StructureModel::validate() const {
+  if (nodes.empty()) throw support::Error("model has no nodes");
+  if (elements.empty()) throw support::Error("model has no elements");
+  if (materials.empty()) throw support::Error("model has no materials");
+
+  const std::size_t ndof = dofs_per_node();
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const auto& e = elements[i];
+    if (e.material >= materials.size()) {
+      throw support::Error("element " + std::to_string(i) +
+                           " references missing material");
+    }
+    for (std::size_t k = 0; k < e.node_count(); ++k) {
+      if (e.nodes[k] >= nodes.size()) {
+        throw support::Error("element " + std::to_string(i) +
+                             " references missing node");
+      }
+      for (std::size_t j = k + 1; j < e.node_count(); ++j) {
+        if (e.nodes[k] == e.nodes[j]) {
+          throw support::Error("element " + std::to_string(i) +
+                               " has repeated nodes");
+        }
+      }
+    }
+    // Two-node elements must have nonzero length.
+    if (e.node_count() == 2) {
+      const auto& a = nodes[e.nodes[0]];
+      const auto& b = nodes[e.nodes[1]];
+      const double len = std::hypot(b.x - a.x, b.y - a.y);
+      if (len <= 0.0) {
+        throw support::Error("element " + std::to_string(i) +
+                             " has zero length");
+      }
+    }
+  }
+  for (const auto& c : constraints) {
+    if (c.node >= nodes.size() || c.dof >= ndof) {
+      throw support::Error("constraint references missing node or dof");
+    }
+  }
+  for (const auto& [set_name, set] : load_sets) {
+    for (const auto& load : set.loads) {
+      if (load.node >= nodes.size() || load.dof >= ndof) {
+        throw support::Error("load set '" + set_name +
+                             "' references missing node or dof");
+      }
+    }
+  }
+}
+
+std::size_t StructureModel::storage_bytes() const {
+  std::size_t bytes = nodes.size() * sizeof(Node) +
+                      elements.size() * sizeof(Element) +
+                      materials.size() * sizeof(Material) +
+                      constraints.size() * sizeof(Constraint);
+  for (const auto& [set_name, set] : load_sets)
+    bytes += set_name.size() + set.loads.size() * sizeof(PointLoad);
+  return bytes;
+}
+
+}  // namespace fem2::fem

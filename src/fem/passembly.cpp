@@ -1,0 +1,244 @@
+#include "fem/passembly.hpp"
+
+#include "fem/element.hpp"
+#include "navm/parops.hpp"
+#include "navm/task.hpp"
+#include "navm/value.hpp"
+
+namespace fem2::fem {
+
+namespace {
+
+struct AssembleWorkerParams {
+  // The model is shipped whole (node coordinates and materials are needed
+  // by every element); element ranges partition the work.
+  StructureModel model;
+  std::size_t element_begin = 0;
+  std::size_t element_end = 0;
+};
+
+struct AssembleDriverParams {
+  StructureModel model;
+  std::uint32_t workers = 1;
+};
+
+/// Worker result: raw triplets in *full* dof numbering (the driver applies
+/// the constraint elimination so workers stay independent of the DofMap).
+struct TripletShard {
+  std::vector<la::Triplet> triplets;
+};
+
+struct AssembledPayload {
+  std::vector<la::Triplet> triplets;  ///< full-dof triplets, merged
+  std::uint64_t flops = 0;
+};
+
+navm::Coro assemble_worker_body(navm::TaskContext& ctx) {
+  const auto& p = ctx.params().as<AssembleWorkerParams>();
+  const std::size_t ndof = p.model.dofs_per_node();
+
+  TripletShard shard;
+  std::uint64_t flops = 0;
+  for (std::size_t e = p.element_begin; e < p.element_end; ++e) {
+    const Element& element = p.model.elements[e];
+    const la::DenseMatrix k = element_stiffness(p.model, element);
+    const std::size_t edof = element_dofs_per_node(element.type);
+    const std::size_t n = element.node_count() * edof;
+    flops += 3 * n * n * n + n * n;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t gr =
+          element.nodes[r / edof] * ndof + (r % edof);
+      for (std::size_t c = 0; c < n; ++c) {
+        const double v = k(r, c);
+        if (v == 0.0) continue;
+        const std::size_t gc =
+            element.nodes[c / edof] * ndof + (c % edof);
+        shard.triplets.push_back({gr, gc, v});
+      }
+    }
+  }
+  ctx.charge_flops(flops);
+  ctx.charge_words(shard.triplets.size() * 3);
+  const std::size_t bytes = shard.triplets.size() * sizeof(la::Triplet) + 16;
+  co_return sysvm::Payload::of(std::move(shard), bytes);
+}
+
+navm::Coro assemble_driver_body(navm::TaskContext& ctx) {
+  const auto& p = ctx.params().as<AssembleDriverParams>();
+  const auto k = static_cast<std::uint32_t>(std::min<std::size_t>(
+      p.workers, std::max<std::size_t>(p.model.elements.size(), 1)));
+
+  const auto results = co_await navm::forall(
+      ctx, kAssembleWorkerTask, k, [&](std::uint32_t i) {
+        AssembleWorkerParams wp;
+        wp.model = p.model;
+        wp.element_begin = navm::block_begin(p.model.elements.size(), k, i);
+        wp.element_end = navm::block_begin(p.model.elements.size(), k, i + 1);
+        return sysvm::Payload::of(std::move(wp),
+                                  p.model.storage_bytes() + 32);
+      });
+
+  AssembledPayload merged;
+  for (const auto& r : results) {
+    const auto& shard = r.as<TripletShard>();
+    merged.triplets.insert(merged.triplets.end(), shard.triplets.begin(),
+                           shard.triplets.end());
+  }
+  ctx.charge_words(merged.triplets.size() * 3);  // the merge pass
+  const std::size_t bytes =
+      merged.triplets.size() * sizeof(la::Triplet) + 32;
+  co_return sysvm::Payload::of(std::move(merged), bytes);
+}
+
+struct StressWorkerParams {
+  StructureModel model;
+  Displacements displacements;
+  std::size_t element_begin = 0;
+  std::size_t element_end = 0;
+};
+
+struct StressDriverParams {
+  StructureModel model;
+  Displacements displacements;
+  std::uint32_t workers = 1;
+};
+
+struct StressShard {
+  std::vector<ElementStress> stresses;
+};
+
+navm::Coro stress_worker_body(navm::TaskContext& ctx) {
+  const auto& p = ctx.params().as<StressWorkerParams>();
+  StressShard shard;
+  shard.stresses.reserve(p.element_end - p.element_begin);
+  std::uint64_t flops = 0;
+  for (std::size_t e = p.element_begin; e < p.element_end; ++e) {
+    shard.stresses.push_back(element_stress(p.model, e, p.displacements));
+    const Element& element = p.model.elements[e];
+    const std::size_t n =
+        element.node_count() * element_dofs_per_node(element.type);
+    flops += 2 * 3 * n + 20;
+  }
+  ctx.charge_flops(flops);
+  const std::size_t bytes =
+      shard.stresses.size() * sizeof(ElementStress) + 16;
+  co_return sysvm::Payload::of(std::move(shard), bytes);
+}
+
+navm::Coro stress_driver_body(navm::TaskContext& ctx) {
+  const auto& p = ctx.params().as<StressDriverParams>();
+  const auto k = static_cast<std::uint32_t>(std::min<std::size_t>(
+      p.workers, std::max<std::size_t>(p.model.elements.size(), 1)));
+
+  const auto results = co_await navm::forall(
+      ctx, kStressWorkerTask, k, [&](std::uint32_t i) {
+        StressWorkerParams wp;
+        wp.model = p.model;
+        wp.displacements = p.displacements;
+        wp.element_begin = navm::block_begin(p.model.elements.size(), k, i);
+        wp.element_end = navm::block_begin(p.model.elements.size(), k, i + 1);
+        const std::size_t bytes =
+            p.model.storage_bytes() +
+            p.displacements.values.size() * sizeof(double) + 32;
+        return sysvm::Payload::of(std::move(wp), bytes);
+      });
+
+  // Merge shards back into element order.
+  StressShard merged;
+  merged.stresses.resize(p.model.elements.size());
+  for (const auto& r : results) {
+    const auto& shard = r.as<StressShard>();
+    for (const auto& s : shard.stresses) merged.stresses[s.element] = s;
+  }
+  ctx.charge_words(merged.stresses.size());
+  const std::size_t bytes =
+      merged.stresses.size() * sizeof(ElementStress) + 16;
+  co_return sysvm::Payload::of(std::move(merged), bytes);
+}
+
+}  // namespace
+
+void register_stress_tasks(navm::Runtime& runtime) {
+  runtime.define_task(kStressWorkerTask, stress_worker_body, {1024, 8192});
+  runtime.define_task(kStressDriverTask, stress_driver_body, {1024, 8192});
+}
+
+std::vector<ElementStress> compute_stresses_parallel(
+    const StructureModel& model, const Displacements& u,
+    navm::Runtime& runtime, std::uint32_t workers,
+    ParallelStressStats* stats) {
+  const hw::Cycles start = runtime.os().now();
+  StressDriverParams params;
+  params.model = model;
+  params.displacements = u;
+  params.workers = workers;
+  const std::size_t bytes =
+      model.storage_bytes() + u.values.size() * sizeof(double) + 32;
+  const auto task = runtime.launch(
+      kStressDriverTask, sysvm::Payload::of(std::move(params), bytes));
+  runtime.run();
+  FEM2_CHECK_MSG(runtime.os().task_finished(task),
+                 "parallel stress recovery did not complete");
+  auto stresses = runtime.result(task).as<StressShard>().stresses;
+  if (stats != nullptr) {
+    stats->workers = workers;
+    stats->elapsed = runtime.os().now() - start;
+  }
+  return stresses;
+}
+
+void register_assembly_tasks(navm::Runtime& runtime) {
+  runtime.define_task(kAssembleWorkerTask, assemble_worker_body,
+                      {1024, 8192});
+  runtime.define_task(kAssembleDriverTask, assemble_driver_body,
+                      {1024, 8192});
+}
+
+AssembledSystem assemble_parallel(const StructureModel& model,
+                                  navm::Runtime& runtime,
+                                  std::uint32_t workers,
+                                  ParallelAssemblyStats* stats) {
+  model.validate();
+  const hw::Cycles start = runtime.os().now();
+
+  AssembleDriverParams params;
+  params.model = model;
+  params.workers = workers;
+  const auto task = runtime.launch(
+      kAssembleDriverTask,
+      sysvm::Payload::of(std::move(params), model.storage_bytes() + 32));
+  runtime.run();
+  FEM2_CHECK_MSG(runtime.os().task_finished(task),
+                 "parallel assembly did not complete");
+  const auto& merged = runtime.result(task).as<AssembledPayload>();
+
+  // Constraint elimination on the host (identical to fem::assemble).
+  AssembledSystem system;
+  system.dofs = build_dof_map(model);
+  const DofMap& map = system.dofs;
+  la::TripletBuilder builder(map.free_dofs, map.free_dofs);
+  system.rhs_correction.assign(map.free_dofs, 0.0);
+  for (const auto& t : merged.triplets) {
+    const std::ptrdiff_t rr = map.full_to_reduced[t.row];
+    if (rr < 0) continue;
+    const std::ptrdiff_t rc = map.full_to_reduced[t.col];
+    if (rc >= 0) {
+      builder.add(static_cast<std::size_t>(rr),
+                  static_cast<std::size_t>(rc), t.value);
+    } else {
+      const double uc = map.prescribed[t.col];
+      if (uc != 0.0)
+        system.rhs_correction[static_cast<std::size_t>(rr)] += t.value * uc;
+    }
+  }
+  system.stiffness = builder.build();
+
+  if (stats != nullptr) {
+    stats->workers = workers;
+    stats->elapsed = runtime.os().now() - start;
+    stats->triplets = merged.triplets.size();
+  }
+  return system;
+}
+
+}  // namespace fem2::fem

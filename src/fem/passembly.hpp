@@ -1,0 +1,49 @@
+// Parallel assembly on the simulated FEM-2 machine: element stiffness
+// formation fanned out across tasks ("forall elements"), merged by the
+// driver.  Completes the on-machine pipeline: assemble → solve → stresses.
+#pragma once
+
+#include "fem/assembly.hpp"
+#include "navm/runtime.hpp"
+
+namespace fem2::fem {
+
+/// Register the fem.assemble.* task types (call once per runtime).
+void register_assembly_tasks(navm::Runtime& runtime);
+
+struct ParallelAssemblyStats {
+  std::size_t workers = 0;
+  hw::Cycles elapsed = 0;       ///< machine time of the assembly run
+  std::uint64_t triplets = 0;   ///< element-matrix entries merged
+};
+
+/// Assemble `model` with `workers` element-range tasks on the machine.
+/// Produces the same AssembledSystem as fem::assemble (tested); machine
+/// metrics accumulate in the runtime's Os/Machine.
+AssembledSystem assemble_parallel(const StructureModel& model,
+                                  navm::Runtime& runtime,
+                                  std::uint32_t workers,
+                                  ParallelAssemblyStats* stats = nullptr);
+
+inline constexpr const char* kAssembleDriverTask = "fem.assemble.driver";
+inline constexpr const char* kAssembleWorkerTask = "fem.assemble.worker";
+
+/// Register the fem.stress.* task types (call once per runtime).
+void register_stress_tasks(navm::Runtime& runtime);
+
+struct ParallelStressStats {
+  std::size_t workers = 0;
+  hw::Cycles elapsed = 0;
+};
+
+/// Recover all element stresses with `workers` element-range tasks on the
+/// machine; identical results to fem::compute_stresses (tested).
+std::vector<ElementStress> compute_stresses_parallel(
+    const StructureModel& model, const Displacements& u,
+    navm::Runtime& runtime, std::uint32_t workers,
+    ParallelStressStats* stats = nullptr);
+
+inline constexpr const char* kStressDriverTask = "fem.stress.driver";
+inline constexpr const char* kStressWorkerTask = "fem.stress.worker";
+
+}  // namespace fem2::fem

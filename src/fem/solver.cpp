@@ -1,0 +1,181 @@
+#include "fem/solver.hpp"
+
+#include "la/skyline.hpp"
+#include "navm/parops.hpp"
+
+namespace fem2::fem {
+
+std::string_view solver_kind_name(SolverKind k) {
+  switch (k) {
+    case SolverKind::SkylineDirect: return "skyline-cholesky";
+    case SolverKind::DenseCholesky: return "dense-cholesky";
+    case SolverKind::ConjugateGradient: return "cg";
+    case SolverKind::PreconditionedCg: return "pcg-jacobi";
+    case SolverKind::GaussSeidel: return "gauss-seidel";
+    case SolverKind::Sor: return "sor";
+    case SolverKind::Jacobi: return "jacobi";
+  }
+  FEM2_UNREACHABLE("bad SolverKind");
+}
+
+StaticSolution solve_reduced(const AssembledSystem& system,
+                             std::span<const double> rhs,
+                             const SolverOptions& options) {
+  const la::CsrMatrix& k = system.stiffness;
+  FEM2_CHECK(rhs.size() == k.rows());
+
+  StaticSolution out;
+  out.stats.method = std::string(solver_kind_name(options.kind));
+  out.stats.matrix_storage_bytes = k.storage_bytes();
+
+  la::SolveOptions iter;
+  iter.tolerance = options.tolerance;
+  iter.max_iterations = options.max_iterations;
+  iter.sor_omega = options.sor_omega;
+
+  std::vector<double> reduced;
+  switch (options.kind) {
+    case SolverKind::SkylineDirect: {
+      la::SkylineMatrix sky = la::SkylineMatrix::from_csr(k);
+      out.stats.matrix_storage_bytes = sky.storage_bytes();
+      sky.factorize();
+      reduced = sky.solve(rhs);
+      out.stats.residual = la::relative_residual(k, reduced, rhs);
+      break;
+    }
+    case SolverKind::DenseCholesky: {
+      const la::DenseMatrix dense = k.to_dense();
+      out.stats.matrix_storage_bytes =
+          dense.rows() * dense.cols() * sizeof(double);
+      la::CholeskyFactorization chol(dense);
+      reduced = chol.solve(rhs);
+      out.stats.residual = la::relative_residual(k, reduced, rhs);
+      break;
+    }
+    case SolverKind::ConjugateGradient:
+    case SolverKind::PreconditionedCg: {
+      iter.jacobi_preconditioner =
+          options.kind == SolverKind::PreconditionedCg;
+      auto result = la::conjugate_gradient(k, rhs, iter);
+      reduced = std::move(result.x);
+      out.stats.converged = result.report.converged;
+      out.stats.iterations = result.report.iterations;
+      out.stats.residual = result.report.residual_norm;
+      break;
+    }
+    case SolverKind::GaussSeidel:
+    case SolverKind::Sor: {
+      if (options.kind == SolverKind::GaussSeidel) iter.sor_omega = 1.0;
+      auto result = la::sor(k, rhs, iter);
+      reduced = std::move(result.x);
+      out.stats.converged = result.report.converged;
+      out.stats.iterations = result.report.iterations;
+      out.stats.residual = result.report.residual_norm;
+      break;
+    }
+    case SolverKind::Jacobi: {
+      auto result = la::jacobi(k, rhs, iter);
+      reduced = std::move(result.x);
+      out.stats.converged = result.report.converged;
+      out.stats.iterations = result.report.iterations;
+      out.stats.residual = result.report.residual_norm;
+      break;
+    }
+  }
+
+  out.displacements = system.expand(reduced);
+  return out;
+}
+
+StaticSolution solve_static(const StructureModel& model,
+                            const std::string& load_set,
+                            const SolverOptions& options) {
+  const auto it = model.load_sets.find(load_set);
+  if (it == model.load_sets.end())
+    throw support::Error("unknown load set: " + load_set);
+  const AssembledSystem system = assemble(model);
+  const auto rhs = system.load_vector(it->second);
+  return solve_reduced(system, rhs, options);
+}
+
+std::map<std::string, StaticSolution> solve_static_all_load_sets(
+    const StructureModel& model, const SolverOptions& options) {
+  if (model.load_sets.empty())
+    throw support::Error("model has no load sets");
+  const AssembledSystem system = assemble(model);
+  std::map<std::string, StaticSolution> out;
+
+  if (options.kind == SolverKind::SkylineDirect) {
+    // Factor once, back-substitute per load set.
+    la::SkylineMatrix sky = la::SkylineMatrix::from_csr(system.stiffness);
+    sky.factorize();
+    for (const auto& [name, loads] : model.load_sets) {
+      const auto rhs = system.load_vector(loads);
+      StaticSolution solution;
+      solution.stats.method = "skyline-cholesky (shared factorization)";
+      solution.stats.matrix_storage_bytes = sky.storage_bytes();
+      const auto reduced = sky.solve(rhs);
+      solution.stats.residual =
+          la::relative_residual(system.stiffness, reduced, rhs);
+      solution.displacements = system.expand(reduced);
+      out.emplace(name, std::move(solution));
+    }
+    return out;
+  }
+  if (options.kind == SolverKind::DenseCholesky) {
+    la::CholeskyFactorization chol(system.stiffness.to_dense());
+    for (const auto& [name, loads] : model.load_sets) {
+      const auto rhs = system.load_vector(loads);
+      StaticSolution solution;
+      solution.stats.method = "dense-cholesky (shared factorization)";
+      const auto reduced = chol.solve(rhs);
+      solution.stats.residual =
+          la::relative_residual(system.stiffness, reduced, rhs);
+      solution.displacements = system.expand(reduced);
+      out.emplace(name, std::move(solution));
+    }
+    return out;
+  }
+  // Iterative methods re-solve per load set (assembly still shared).
+  for (const auto& [name, loads] : model.load_sets) {
+    const auto rhs = system.load_vector(loads);
+    out.emplace(name, solve_reduced(system, rhs, options));
+  }
+  return out;
+}
+
+StaticSolution solve_static_parallel(const StructureModel& model,
+                                     const std::string& load_set,
+                                     navm::Runtime& runtime,
+                                     const ParallelSolveOptions& options) {
+  const auto it = model.load_sets.find(load_set);
+  if (it == model.load_sets.end())
+    throw support::Error("unknown load set: " + load_set);
+
+  const AssembledSystem system = assemble(model);
+
+  navm::CgProblem problem;
+  problem.a = system.stiffness;
+  problem.b = system.load_vector(it->second);
+  problem.workers = options.workers;
+  problem.tolerance = options.tolerance;
+  problem.max_iterations = options.max_iterations;
+
+  const auto task = runtime.launch(navm::kCgDriverTask,
+                                   navm::make_cg_problem(std::move(problem)));
+  runtime.run();
+  FEM2_CHECK_MSG(runtime.os().task_finished(task),
+                 "parallel solve did not complete");
+  const auto& result = navm::as_cg_result(runtime.result(task));
+
+  StaticSolution out;
+  out.displacements = system.expand(result.x);
+  out.stats.method = "fem2-distributed-cg";
+  out.stats.converged = result.converged;
+  out.stats.iterations = result.iterations;
+  out.stats.residual = result.residual;
+  out.stats.matrix_storage_bytes = system.stiffness.storage_bytes();
+  return out;
+}
+
+}  // namespace fem2::fem

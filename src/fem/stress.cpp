@@ -1,0 +1,34 @@
+#include "fem/stress.hpp"
+
+#include "fem/element.hpp"
+
+namespace fem2::fem {
+
+std::vector<ElementStress> compute_stresses(const StructureModel& model,
+                                            const Displacements& u) {
+  std::vector<ElementStress> out;
+  out.reserve(model.elements.size());
+  for (std::size_t i = 0; i < model.elements.size(); ++i)
+    out.push_back(element_stress(model, i, u));
+  return out;
+}
+
+ElementStress peak_stress(const std::vector<ElementStress>& stresses) {
+  FEM2_CHECK_MSG(!stresses.empty(), "no stresses computed");
+  const ElementStress* best = &stresses.front();
+  for (const auto& s : stresses)
+    if (s.von_mises > best->von_mises) best = &s;
+  return *best;
+}
+
+std::uint64_t stress_flops(const StructureModel& model) {
+  std::uint64_t flops = 0;
+  for (const auto& element : model.elements) {
+    const std::size_t n =
+        element.node_count() * element_dofs_per_node(element.type);
+    flops += 2 * 3 * n + 20;  // sigma = D B u_e plus invariants
+  }
+  return flops;
+}
+
+}  // namespace fem2::fem

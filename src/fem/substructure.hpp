@@ -1,0 +1,89 @@
+// Substructure analysis by static condensation — the second of the paper's
+// three parallelism levels: "parallelism in the substructure analysis of a
+// larger structure".
+//
+// The model's elements are partitioned into substructures; each
+// substructure eliminates its interior dofs (a dense Schur complement),
+// the condensed interface system is solved, and interiors are recovered by
+// back-substitution.  The parallel variant runs each condensation and
+// back-substitution as a FEM-2 task; interiors never leave their task
+// ("all data owned by a single task"), only Schur complements and interface
+// displacements travel.
+#pragma once
+
+#include <vector>
+
+#include "fem/assembly.hpp"
+#include "fem/model.hpp"
+#include "fem/solver.hpp"
+#include "la/dense.hpp"
+#include "navm/runtime.hpp"
+
+namespace fem2::fem {
+
+struct SubstructurePartition {
+  /// Element indices per substructure; every element in exactly one group.
+  std::vector<std::vector<std::size_t>> element_groups;
+
+  std::size_t count() const { return element_groups.size(); }
+};
+
+/// Partition elements into `count` vertical bands by element centroid x.
+SubstructurePartition partition_by_x(const StructureModel& model,
+                                     std::size_t count);
+
+/// Per-substructure condensation input (also the payload shipped to the
+/// parallel workers).
+struct SubstructureData {
+  la::DenseMatrix k_ii;  ///< interior × interior
+  la::DenseMatrix k_ib;  ///< interior × local boundary
+  la::DenseMatrix k_bb;  ///< local boundary × local boundary
+  std::vector<double> f_i;
+  std::vector<std::size_t> boundary_global;  ///< local boundary → interface idx
+  std::vector<std::size_t> interior_global;  ///< local interior → reduced dof
+
+  std::size_t payload_bytes() const;
+};
+
+struct SubstructureProblem {
+  std::vector<SubstructureData> subs;
+  std::vector<double> interface_rhs;  ///< loads at interface dofs
+  std::vector<std::size_t> interface_to_reduced;
+
+  std::size_t interface_dofs() const { return interface_to_reduced.size(); }
+};
+
+/// Build the condensation problem from an assembled system and a reduced
+/// right-hand side.
+SubstructureProblem prepare_substructures(const StructureModel& model,
+                                          const AssembledSystem& system,
+                                          std::span<const double> rhs,
+                                          const SubstructurePartition& partition);
+
+struct SubstructureStats {
+  std::size_t substructures = 0;
+  std::size_t interface_dofs = 0;
+  double residual = 0.0;  ///< relative residual of the recomposed solution
+};
+
+/// Sequential condensation solve (reference implementation).
+StaticSolution solve_substructured(const StructureModel& model,
+                                   const std::string& load_set,
+                                   const SubstructurePartition& partition,
+                                   SubstructureStats* stats = nullptr);
+
+/// Register the fem.sub.* task types on a runtime (call once).
+void register_substructure_tasks(navm::Runtime& runtime);
+
+/// Parallel condensation on the simulated FEM-2 machine: one task per
+/// substructure, interface solve in the driver task.
+StaticSolution solve_substructured_parallel(
+    const StructureModel& model, const std::string& load_set,
+    const SubstructurePartition& partition, navm::Runtime& runtime,
+    SubstructureStats* stats = nullptr);
+
+/// Task-type names registered by register_substructure_tasks.
+inline constexpr const char* kSubDriverTask = "fem.sub.driver";
+inline constexpr const char* kSubWorkerTask = "fem.sub.worker";
+
+}  // namespace fem2::fem

@@ -1,0 +1,99 @@
+// H-graph grammars: "a type of BNF grammar in which the 'language' defined
+// is a set of H-graphs representing a class of data objects" (Pratt 1983).
+//
+// A grammar maps nonterminal names to alternatives.  Each alternative is
+// either an atom constraint (NIL / INT / REAL / STRING / ANY) or a composite
+// pattern constraining the node's outgoing arcs:
+//
+//   structure ::= { name: STRING, grid: grid, loadset[*]: loadset }
+//   list      ::= NIL | { @INT, next?: list }
+//
+// Arc multiplicities:
+//   label:  nt    exactly one arc `label`
+//   label?: nt    zero or one arc `label`
+//   label*: nt    any number of arcs `label`
+//   label[*]: nt  an indexed family label[0], label[1], ..., label[n-1]
+// `@KIND` constrains the composite node's own atom (default NIL); `...`
+// makes the composite open (extra arcs permitted).
+//
+// Conformance is coinductive (greatest fixpoint): a node revisited while
+// its own check is in progress is assumed to conform, so cyclic data
+// objects (rings, doubly linked structures) check correctly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "hgraph/hgraph.hpp"
+
+namespace fem2::hgraph {
+
+enum class AtomKind { Nil, Int, Real, String, Any };
+
+std::string_view atom_kind_name(AtomKind k);
+
+/// True if the node's atom satisfies the kind (REAL accepts INT).
+bool atom_matches(const HGraph& g, NodeId node, AtomKind kind);
+
+enum class Multiplicity { One, Optional, Star, IndexedFamily };
+
+struct ArcPattern {
+  std::string label;
+  Multiplicity multiplicity = Multiplicity::One;
+  std::string nonterminal;
+};
+
+struct Composite {
+  AtomKind own_atom = AtomKind::Nil;  ///< constraint on the node's own value
+  std::vector<ArcPattern> arcs;
+  bool open = false;  ///< extra arcs allowed
+};
+
+/// Alternative that simply defers to another nonterminal (an alias).
+struct NonterminalRef {
+  std::string name;
+};
+
+/// One alternative of a production.
+using Alternative = std::variant<AtomKind, Composite, NonterminalRef>;
+
+struct ConformanceResult {
+  bool ok = true;
+  std::string error;  ///< first failure, with access-path context
+
+  explicit operator bool() const { return ok; }
+};
+
+class Grammar {
+ public:
+  Grammar();
+
+  /// Add an alternative for `nonterminal` (creating the rule if needed).
+  void add_alternative(std::string nonterminal, Alternative alt);
+
+  bool has_rule(std::string_view nonterminal) const;
+  std::vector<std::string> nonterminals() const;
+
+  /// Does the subgraph rooted at `node` belong to the language of
+  /// `nonterminal`?  On failure, `error` holds the first mismatch found.
+  ConformanceResult conforms(const HGraph& g, NodeId node,
+                             std::string_view nonterminal) const;
+
+  /// Validate the grammar itself: every referenced nonterminal must be
+  /// defined (builtin atom kinds count as defined).
+  ConformanceResult validate() const;
+
+ private:
+  struct CheckState;
+  bool check(const HGraph& g, NodeId node, const std::string& nonterminal,
+             CheckState& state) const;
+  bool check_alternative(const HGraph& g, NodeId node, const Alternative& alt,
+                         CheckState& state) const;
+
+  std::map<std::string, std::vector<Alternative>, std::less<>> rules_;
+};
+
+}  // namespace fem2::hgraph

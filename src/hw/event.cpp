@@ -1,0 +1,35 @@
+#include "hw/event.hpp"
+
+#include "support/check.hpp"
+
+namespace fem2::hw {
+
+void Engine::schedule(Cycles delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::schedule_at(Cycles time, Action action) {
+  FEM2_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
+  FEM2_CHECK(action != nullptr);
+  queue_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+std::uint64_t Engine::run() {
+  return run_until(~Cycles{0});
+}
+
+std::uint64_t Engine::run_until(Cycles limit) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    // Copy out before pop so the action may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+}  // namespace fem2::hw

@@ -1,0 +1,55 @@
+// Deterministic discrete-event engine driving the machine simulation.
+// Events at equal virtual time execute in schedule order (stable sequence
+// numbers), so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace fem2::hw {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Cycles now() const { return now_; }
+
+  /// Schedule `action` to run `delay` cycles from now.
+  void schedule(Cycles delay, Action action);
+
+  /// Schedule at an absolute time >= now().
+  void schedule_at(Cycles time, Action action);
+
+  /// Run until the event queue is empty.  Returns events processed.
+  std::uint64_t run();
+
+  /// Run until the queue is empty or virtual time would exceed `limit`.
+  std::uint64_t run_until(Cycles limit);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace fem2::hw

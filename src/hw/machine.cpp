@@ -1,0 +1,279 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+
+namespace fem2::hw {
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  FEM2_CHECK_MSG(config_.clusters > 0, "machine needs at least one cluster");
+  FEM2_CHECK_MSG(config_.pes_per_cluster > 0,
+                 "machine needs at least one PE per cluster");
+  pes_.resize(config_.total_pes());
+  clusters_.resize(config_.clusters);
+  metrics_.pes.resize(config_.total_pes());
+  metrics_.clusters.resize(config_.clusters);
+  metrics_.network.clusters = config_.clusters;
+  metrics_.network.traffic_matrix.assign(config_.clusters * config_.clusters,
+                                         0);
+}
+
+void Machine::check_cluster(ClusterId cluster) const {
+  FEM2_CHECK_MSG(cluster.valid() && cluster.index < config_.clusters,
+                 "invalid cluster id");
+}
+
+std::size_t Machine::pe_flat_index(PeId pe) const {
+  check_cluster(pe.cluster);
+  FEM2_CHECK_MSG(pe.index < config_.pes_per_cluster, "invalid PE index");
+  return pe.cluster.index * config_.pes_per_cluster + pe.index;
+}
+
+Machine::PeSlot& Machine::slot(PeId pe) { return pes_[pe_flat_index(pe)]; }
+const Machine::PeSlot& Machine::slot(PeId pe) const {
+  return pes_[pe_flat_index(pe)];
+}
+
+PeMetrics& Machine::pe_metrics(PeId pe) {
+  return metrics_.pes[pe_flat_index(pe)];
+}
+
+void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
+                          std::any payload) {
+  check_cluster(src);
+  check_cluster(dst);
+
+  auto& src_metrics = metrics_.clusters[src.index];
+  src_metrics.packets_out += 1;
+  src_metrics.bytes_out += bytes;
+  metrics_.network
+      .traffic_matrix[src.index * config_.clusters + dst.index] += 1;
+
+  Cycles deliver_at;
+  if (src == dst) {
+    metrics_.network.local_messages += 1;
+    metrics_.network.local_bytes += bytes;
+    Cycles start = now() + config_.intra_cluster_latency;
+    if (config_.model_memory_contention) {
+      const auto transfer = static_cast<Cycles>(
+          config_.memory_cycles_per_byte * static_cast<double>(bytes));
+      auto& port = clusters_[dst.index].memory_port_free_at;
+      start = std::max(start, port);
+      port = start + transfer;
+      metrics_.network.memory_port_busy_cycles += transfer;
+      start += transfer;
+    }
+    deliver_at = start;
+  } else {
+    metrics_.network.messages += 1;
+    metrics_.network.bytes += bytes;
+    const auto transfer =
+        static_cast<Cycles>(config_.network_cycles_per_byte *
+                            static_cast<double>(bytes));
+    Cycles start = now() + config_.network_base_latency;
+    if (config_.model_network_contention) {
+      auto& ch = clusters_[dst.index].channel_free_at;
+      start = std::max(start, ch);
+      ch = start + transfer;
+      metrics_.network.channel_busy_cycles += transfer;
+    }
+    deliver_at = start + transfer;
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::MessageSent, src, 0xffffffffu, bytes});
+  }
+  Packet packet{src, dst, bytes, std::move(payload)};
+  engine_.schedule_at(
+      deliver_at, [this, dst, bytes, packet = std::move(packet)]() mutable {
+        auto& cl = clusters_[dst.index];
+        cl.queue.push_back(std::move(packet));
+        auto& cm = metrics_.clusters[dst.index];
+        cm.packets_in += 1;
+        cm.bytes_in += bytes;
+        cm.queue_peak = std::max<std::uint64_t>(cm.queue_peak,
+                                                cl.queue.size());
+        if (tracer_ != nullptr) {
+          tracer_->record(
+              {now(), TraceKind::MessageDelivered, dst, 0xffffffffu, bytes});
+        }
+        notify_service(dst);
+      });
+}
+
+std::optional<Packet> Machine::pop_packet(ClusterId cluster) {
+  check_cluster(cluster);
+  auto& q = clusters_[cluster.index].queue;
+  if (q.empty()) return std::nullopt;
+  Packet p = std::move(q.front());
+  q.pop_front();
+  return p;
+}
+
+std::size_t Machine::queue_depth(ClusterId cluster) const {
+  check_cluster(cluster);
+  return clusters_[cluster.index].queue.size();
+}
+
+void Machine::set_cluster_service(ClusterService service) {
+  service_ = std::move(service);
+}
+
+void Machine::set_work_lost_handler(WorkLostHandler handler) {
+  work_lost_ = std::move(handler);
+}
+
+void Machine::notify_service(ClusterId cluster) {
+  if (service_) service_(cluster);
+}
+
+PeId Machine::kernel_pe(ClusterId cluster) const {
+  check_cluster(cluster);
+  for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
+    const PeId pe{cluster, i};
+    if (slot(pe).state != PeState::Failed) return pe;
+  }
+  return PeId{};
+}
+
+PeId Machine::acquire_worker(ClusterId cluster) {
+  check_cluster(cluster);
+  const PeId kernel = kernel_pe(cluster);
+  if (!kernel.valid()) return PeId{};  // cluster entirely failed
+  for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
+    const PeId pe{cluster, i};
+    if (pe == kernel && config_.pes_per_cluster > 1) continue;
+    if (slot(pe).state == PeState::Idle) {
+      slot(pe).state = PeState::Busy;
+      return pe;
+    }
+  }
+  return PeId{};
+}
+
+bool Machine::try_acquire_pe(PeId pe) {
+  auto& s = slot(pe);
+  if (s.state != PeState::Idle) return false;
+  s.state = PeState::Busy;
+  return true;
+}
+
+void Machine::release_worker(PeId pe) {
+  auto& s = slot(pe);
+  if (s.state == PeState::Failed) return;  // died while working
+  FEM2_CHECK_MSG(s.state == PeState::Busy, "releasing a PE that is not busy");
+  s.state = PeState::Idle;
+  // A freed PE may unblock queued messages.
+  notify_service(pe.cluster);
+}
+
+void Machine::occupy(PeId pe, Cycles duration,
+                     std::function<void()> on_complete) {
+  auto& s = slot(pe);
+  FEM2_CHECK_MSG(s.state != PeState::Failed, "occupying a failed PE");
+  const std::uint32_t generation = s.generation;
+  auto& pm = metrics_.pes[pe_flat_index(pe)];
+  pm.busy_cycles += duration;
+  pm.work_items += 1;
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::WorkStarted, pe.cluster, pe.index, 0});
+  }
+  engine_.schedule(duration, [this, pe, generation,
+                              on_complete = std::move(on_complete)] {
+    if (tracer_ != nullptr) {
+      tracer_->record(
+          {now(), TraceKind::WorkFinished, pe.cluster, pe.index, 0});
+    }
+    if (slot(pe).generation != generation) {
+      // The PE failed (or was power-cycled) while this work was in flight.
+      if (work_lost_) work_lost_(pe.cluster);
+      return;
+    }
+    if (on_complete) on_complete();
+  });
+}
+
+bool Machine::pe_alive(PeId pe) const {
+  return slot(pe).state != PeState::Failed;
+}
+
+bool Machine::pe_busy(PeId pe) const {
+  return slot(pe).state == PeState::Busy;
+}
+
+std::size_t Machine::alive_pes(ClusterId cluster) const {
+  check_cluster(cluster);
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i)
+    if (pe_alive(PeId{cluster, i})) ++n;
+  return n;
+}
+
+std::size_t Machine::idle_workers(ClusterId cluster) const {
+  check_cluster(cluster);
+  const PeId kernel = kernel_pe(cluster);
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
+    const PeId pe{cluster, i};
+    if (pe == kernel && config_.pes_per_cluster > 1) continue;
+    if (slot(pe).state == PeState::Idle) ++n;
+  }
+  return n;
+}
+
+void Machine::fail_pe(PeId pe) {
+  auto& s = slot(pe);
+  if (s.state == PeState::Failed) return;
+  const bool was_busy = s.state == PeState::Busy;
+  s.state = PeState::Failed;
+  s.generation += 1;
+  failed_count_ += 1;
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::PeFailed, pe.cluster, pe.index, 0});
+  }
+  if (was_busy && work_lost_) work_lost_(pe.cluster);
+  // Isolating the fault may promote a new kernel PE; wake the service so it
+  // can continue fielding messages.
+  notify_service(pe.cluster);
+}
+
+void Machine::restore_pe(PeId pe) {
+  auto& s = slot(pe);
+  if (s.state != PeState::Failed) return;
+  s.state = PeState::Idle;
+  s.generation += 1;
+  failed_count_ -= 1;
+  notify_service(pe.cluster);
+}
+
+std::size_t Machine::failed_pe_count() const { return failed_count_; }
+
+void Machine::allocate(ClusterId cluster, std::size_t bytes) {
+  check_cluster(cluster);
+  auto& cl = clusters_[cluster.index];
+  if (cl.memory_in_use + bytes > config_.memory_per_cluster) {
+    throw OutOfMemory("cluster " + std::to_string(cluster.index) +
+                      " shared memory exhausted: in use " +
+                      std::to_string(cl.memory_in_use) + " + request " +
+                      std::to_string(bytes) + " > capacity " +
+                      std::to_string(config_.memory_per_cluster));
+  }
+  cl.memory_in_use += bytes;
+  auto& cm = metrics_.clusters[cluster.index];
+  cm.memory_in_use = cl.memory_in_use;
+  cm.memory_high_water = std::max(cm.memory_high_water, cl.memory_in_use);
+}
+
+void Machine::release(ClusterId cluster, std::size_t bytes) {
+  check_cluster(cluster);
+  auto& cl = clusters_[cluster.index];
+  FEM2_CHECK_MSG(bytes <= cl.memory_in_use, "releasing more than allocated");
+  cl.memory_in_use -= bytes;
+  metrics_.clusters[cluster.index].memory_in_use = cl.memory_in_use;
+}
+
+std::size_t Machine::memory_in_use(ClusterId cluster) const {
+  check_cluster(cluster);
+  return clusters_[cluster.index].memory_in_use;
+}
+
+}  // namespace fem2::hw

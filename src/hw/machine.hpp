@@ -1,0 +1,152 @@
+// The FEM-2 machine model: clusters of processing elements around a shared
+// memory, connected by a common inter-cluster network, driven by the
+// discrete-event engine.
+//
+// The hardware layer is mechanism only.  Policy — which PE fields a message,
+// how tasks are scheduled — belongs to the system programmer's VM
+// (src/sysvm), which installs a ClusterService callback.  Per the paper,
+// the kernel role is pinned to one PE per cluster ("within each cluster,
+// one PE runs the operating system kernel"); reconfigurability is modeled
+// by promoting the lowest-index surviving PE when the kernel PE fails.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "hw/event.hpp"
+#include "hw/metrics.hpp"
+#include "hw/trace.hpp"
+#include "support/check.hpp"
+
+namespace fem2::hw {
+
+struct Packet {
+  ClusterId source;
+  ClusterId destination;
+  std::size_t bytes = 0;
+  std::any payload;
+};
+
+/// Thrown when a cluster's shared memory is exhausted.
+class OutOfMemory : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  Cycles now() const { return engine_.now(); }
+
+  std::size_t cluster_count() const { return config_.clusters; }
+
+  // --- packets --------------------------------------------------------
+  /// Deliver a packet to `dst`'s input queue after modeled latency
+  /// (intra-cluster shared-memory handoff, or network with per-destination
+  /// channel serialization).  The cluster service is notified on arrival.
+  void send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
+                   std::any payload);
+
+  std::optional<Packet> pop_packet(ClusterId cluster);
+  std::size_t queue_depth(ClusterId cluster) const;
+
+  /// Installed by the OS layer; invoked when a packet arrives or a PE frees
+  /// up in the cluster.  May be invoked spuriously; must be idempotent.
+  using ClusterService = std::function<void(ClusterId)>;
+  void set_cluster_service(ClusterService service);
+
+  /// Invoked when a PE fails mid-work; receives the cluster whose work was
+  /// lost so the OS layer can re-dispatch.
+  using WorkLostHandler = std::function<void(ClusterId)>;
+  void set_work_lost_handler(WorkLostHandler handler);
+
+  // --- processing elements ---------------------------------------------
+  /// The PE currently running the OS kernel in this cluster: the
+  /// lowest-index alive PE.  Invalid id if the whole cluster has failed.
+  PeId kernel_pe(ClusterId cluster) const;
+
+  /// Claim an idle, alive, non-kernel PE (any PE may process any message,
+  /// per the paper).  With a single-PE cluster the kernel PE doubles as the
+  /// worker.  Returns an invalid id when none is available.
+  PeId acquire_worker(ClusterId cluster);
+  void release_worker(PeId pe);
+
+  /// Claim a specific PE (e.g. the kernel PE for dispatch).  Returns false
+  /// if it is busy or failed.
+  bool try_acquire_pe(PeId pe);
+
+  /// Charge `duration` busy cycles to `pe`, then run `on_complete`.
+  /// If the PE fails before completion the completion is dropped and the
+  /// work-lost handler fires instead.  Does not acquire/release the PE.
+  void occupy(PeId pe, Cycles duration, std::function<void()> on_complete);
+
+  bool pe_alive(PeId pe) const;
+  bool pe_busy(PeId pe) const;
+  std::size_t alive_pes(ClusterId cluster) const;
+  std::size_t idle_workers(ClusterId cluster) const;
+
+  // --- faults -----------------------------------------------------------
+  void fail_pe(PeId pe);
+  void restore_pe(PeId pe);
+  std::size_t failed_pe_count() const;
+
+  // --- shared memory ------------------------------------------------------
+  /// Throws OutOfMemory if the cluster's capacity would be exceeded.
+  void allocate(ClusterId cluster, std::size_t bytes);
+  void release(ClusterId cluster, std::size_t bytes);
+  std::size_t memory_in_use(ClusterId cluster) const;
+  std::size_t memory_capacity() const { return config_.memory_per_cluster; }
+
+  // --- metrics -----------------------------------------------------------
+  const MachineMetrics& metrics() const { return metrics_; }
+  PeMetrics& pe_metrics(PeId pe);
+
+  /// Attach an execution tracer (optional; not owned).  Pass nullptr to
+  /// detach.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  enum class PeState { Idle, Busy, Failed };
+
+  struct PeSlot {
+    PeState state = PeState::Idle;
+    std::uint32_t generation = 0;  ///< bumped on fail/restore
+  };
+
+  struct ClusterSlot {
+    std::deque<Packet> queue;
+    Cycles channel_free_at = 0;  ///< inbound network channel serialization
+    Cycles memory_port_free_at = 0;  ///< shared-memory port serialization
+    std::size_t memory_in_use = 0;
+  };
+
+  PeSlot& slot(PeId pe);
+  const PeSlot& slot(PeId pe) const;
+  std::size_t pe_flat_index(PeId pe) const;
+  void notify_service(ClusterId cluster);
+  void check_cluster(ClusterId cluster) const;
+
+  MachineConfig config_;
+  Engine engine_;
+  std::vector<PeSlot> pes_;
+  std::vector<ClusterSlot> clusters_;
+  ClusterService service_;
+  WorkLostHandler work_lost_;
+  MachineMetrics metrics_;
+  Tracer* tracer_ = nullptr;
+  std::size_t failed_count_ = 0;
+};
+
+}  // namespace fem2::hw

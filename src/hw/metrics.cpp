@@ -1,0 +1,68 @@
+#include "hw/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace fem2::hw {
+
+std::uint64_t NetworkMetrics::traffic(std::size_t from, std::size_t to) const {
+  if (from >= clusters || to >= clusters) return 0;
+  return traffic_matrix[from * clusters + to];
+}
+
+std::string NetworkMetrics::render_traffic_matrix() const {
+  std::ostringstream os;
+  os << "src\\dst";
+  for (std::size_t c = 0; c < clusters; ++c) os << "\tc" << c;
+  os << "\n";
+  for (std::size_t r = 0; r < clusters; ++r) {
+    os << "c" << r;
+    for (std::size_t c = 0; c < clusters; ++c)
+      os << "\t" << traffic(r, c);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Cycles MachineMetrics::total_busy_cycles() const {
+  Cycles total = 0;
+  for (const auto& pe : pes) total += pe.busy_cycles;
+  return total;
+}
+
+double MachineMetrics::pe_utilization(Cycles elapsed) const {
+  if (elapsed == 0 || pes.empty()) return 0.0;
+  return static_cast<double>(total_busy_cycles()) /
+         (static_cast<double>(elapsed) * static_cast<double>(pes.size()));
+}
+
+std::uint64_t MachineMetrics::total_messages() const {
+  return network.messages + network.local_messages;
+}
+
+std::uint64_t MachineMetrics::total_bytes() const {
+  return network.bytes + network.local_bytes;
+}
+
+std::size_t MachineMetrics::memory_high_water() const {
+  std::size_t hw = 0;
+  for (const auto& c : clusters) hw = std::max(hw, c.memory_high_water);
+  return hw;
+}
+
+std::string MachineMetrics::summary(Cycles elapsed) const {
+  std::ostringstream os;
+  os << "elapsed " << support::format_count(elapsed) << " cycles, "
+     << "PE utilization " << support::format_double(
+            100.0 * pe_utilization(elapsed), 1)
+     << "%, messages " << support::format_count(total_messages())
+     << " (" << support::format_count(network.messages) << " network, "
+     << support::format_count(network.local_messages) << " local), traffic "
+     << support::format_bytes(total_bytes()) << ", memory high water "
+     << support::format_bytes(memory_high_water());
+  return os.str();
+}
+
+}  // namespace fem2::hw

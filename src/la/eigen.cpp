@@ -1,0 +1,169 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/vec_ops.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace fem2::la {
+
+double rayleigh_quotient(const CsrMatrix& k, const CsrMatrix& m,
+                         std::span<const double> phi) {
+  const auto kp = k.multiply(phi);
+  const auto mp = m.multiply(phi);
+  const double denom = dot(phi, mp);
+  FEM2_CHECK_MSG(denom > 0.0, "Rayleigh quotient with M-null vector");
+  return dot(phi, kp) / denom;
+}
+
+namespace {
+
+/// M-inner product.
+double m_dot(const CsrMatrix& m, std::span<const double> a,
+             std::span<const double> b) {
+  return dot(a, m.multiply(b));
+}
+
+/// Gram–Schmidt M-orthonormalization of the columns in `basis`.
+void m_orthonormalize(const CsrMatrix& m, std::vector<Vector>& basis) {
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double proj = m_dot(m, basis[i], basis[j]);
+      axpy(-proj, basis[j], basis[i]);
+    }
+    const double norm = std::sqrt(m_dot(m, basis[i], basis[i]));
+    FEM2_CHECK_MSG(norm > 1e-300, "degenerate subspace basis");
+    scale(1.0 / norm, basis[i]);
+  }
+}
+
+/// Solve the small dense projected eigenproblem A y = λ y (A symmetric,
+/// p×p) by cyclic Jacobi rotations.  Returns eigenvalues ascending with
+/// eigenvectors as rows of `vectors`.
+void jacobi_eigen(DenseMatrix a, std::vector<double>& values,
+                  DenseMatrix& vectors) {
+  const std::size_t p = a.rows();
+  vectors = DenseMatrix::identity(p);
+  for (std::size_t sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t r = 0; r < p; ++r)
+      for (std::size_t c = r + 1; c < p; ++c) off += a(r, c) * a(r, c);
+    if (off < 1e-24) break;
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t c = r + 1; c < p; ++c) {
+        if (std::abs(a(r, c)) < 1e-300) continue;
+        const double theta = (a(c, c) - a(r, r)) / (2.0 * a(r, c));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double cs = 1.0 / std::sqrt(t * t + 1.0);
+        const double sn = t * cs;
+        for (std::size_t i = 0; i < p; ++i) {
+          const double arc = a(i, r), acc = a(i, c);
+          a(i, r) = cs * arc - sn * acc;
+          a(i, c) = sn * arc + cs * acc;
+        }
+        for (std::size_t i = 0; i < p; ++i) {
+          const double arc = a(r, i), acc = a(c, i);
+          a(r, i) = cs * arc - sn * acc;
+          a(c, i) = sn * arc + cs * acc;
+          const double vrc = vectors(r, i), vcc = vectors(c, i);
+          vectors(r, i) = cs * vrc - sn * vcc;
+          vectors(c, i) = sn * vrc + cs * vcc;
+        }
+      }
+    }
+  }
+  values.resize(p);
+  for (std::size_t i = 0; i < p; ++i) values[i] = a(i, i);
+  // Sort ascending, permuting the vector rows along.
+  std::vector<std::size_t> order(p);
+  for (std::size_t i = 0; i < p; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] < values[y]; });
+  std::vector<double> sorted_values(p);
+  DenseMatrix sorted_vectors(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    sorted_values[i] = values[order[i]];
+    for (std::size_t j = 0; j < p; ++j)
+      sorted_vectors(i, j) = vectors(order[i], j);
+  }
+  values = std::move(sorted_values);
+  vectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+EigenResult lowest_eigenpairs(const CsrMatrix& k, const CsrMatrix& m,
+                              const EigenOptions& options) {
+  FEM2_CHECK(k.rows() == k.cols());
+  FEM2_CHECK(m.rows() == k.rows() && m.cols() == k.cols());
+  const std::size_t n = k.rows();
+  const std::size_t p = std::min(options.modes, n);
+  FEM2_CHECK_MSG(p > 0, "requesting zero modes");
+  // A slightly larger working subspace accelerates convergence.
+  const std::size_t q = std::min(n, std::max(p + 2, 2 * p));
+
+  CholeskyFactorization chol(k.to_dense());
+
+  support::Rng rng(options.seed);
+  std::vector<Vector> basis(q, Vector(n));
+  for (auto& v : basis)
+    for (auto& x : v) x = rng.uniform(-1, 1);
+  m_orthonormalize(m, basis);
+
+  EigenResult result;
+  std::vector<double> previous(p, 0.0);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Inverse iteration step: z_i = K⁻¹ M x_i.
+    for (auto& v : basis) v = chol.solve(m.multiply(v));
+    m_orthonormalize(m, basis);
+
+    // Rayleigh–Ritz: project K onto the subspace.
+    DenseMatrix projected(q, q);
+    std::vector<Vector> k_basis(q);
+    for (std::size_t i = 0; i < q; ++i) k_basis[i] = k.multiply(basis[i]);
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = 0; j < q; ++j)
+        projected(i, j) = dot(basis[i], k_basis[j]);
+
+    std::vector<double> values;
+    DenseMatrix rotations;
+    jacobi_eigen(projected, values, rotations);
+
+    // Rotate the basis to the Ritz vectors.
+    std::vector<Vector> ritz(q, Vector(n, 0.0));
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = 0; j < q; ++j)
+        axpy(rotations(i, j), basis[j], ritz[i]);
+    basis = std::move(ritz);
+
+    result.iterations = it + 1;
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double denom = std::max(std::abs(values[i]), 1e-300);
+      max_change = std::max(max_change,
+                            std::abs(values[i] - previous[i]) / denom);
+      previous[i] = values[i];
+    }
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      result.pairs.resize(p);
+      for (std::size_t i = 0; i < p; ++i) {
+        result.pairs[i].value = values[i];
+        result.pairs[i].vector = basis[i];
+      }
+      return result;
+    }
+  }
+  result.pairs.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    result.pairs[i].value = previous[i];
+    result.pairs[i].vector = basis[i];
+  }
+  return result;
+}
+
+}  // namespace fem2::la

@@ -1,0 +1,43 @@
+// Symmetric generalized eigenproblem K φ = λ M φ for the lowest modes —
+// the numerical core of structural vibration analysis.  Subspace (block
+// inverse) iteration with Gram–Schmidt M-orthonormalization; K is factored
+// once (dense Cholesky).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/sparse.hpp"
+
+namespace fem2::la {
+
+struct EigenOptions {
+  std::size_t modes = 4;           ///< how many lowest eigenpairs
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-10;        ///< relative eigenvalue change
+  std::uint64_t seed = 0x5eed;     ///< start-vector generator
+};
+
+struct EigenPair {
+  double value = 0.0;              ///< λ (rad²/s² in structural use)
+  Vector vector;                   ///< M-normalized shape
+};
+
+struct EigenResult {
+  std::vector<EigenPair> pairs;    ///< ascending by eigenvalue
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Lowest eigenpairs of K φ = λ M φ with K SPD and M symmetric positive
+/// (semi-)definite diagonal-dominant (lumped mass).  Throws support::Error
+/// if K is not positive definite.
+EigenResult lowest_eigenpairs(const CsrMatrix& k, const CsrMatrix& m,
+                              const EigenOptions& options = {});
+
+/// Rayleigh quotient φᵀKφ / φᵀMφ.
+double rayleigh_quotient(const CsrMatrix& k, const CsrMatrix& m,
+                         std::span<const double> phi);
+
+}  // namespace fem2::la

@@ -1,0 +1,133 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace fem2::la {
+
+TripletBuilder::TripletBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void TripletBuilder::add(std::size_t row, std::size_t col, double value) {
+  FEM2_CHECK(row < rows_ && col < cols_);
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+CsrMatrix TripletBuilder::build() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    row_ptr[r] = values.size();
+    while (i < sorted.size() && sorted[i].row == r) {
+      const std::size_t c = sorted[i].col;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      if (sum != 0.0) {
+        col_idx.push_back(c);
+        values.push_back(sum);
+      }
+    }
+  }
+  row_ptr[rows_] = values.size();
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  FEM2_CHECK(row_ptr_.size() == rows_ + 1);
+  FEM2_CHECK(col_idx_.size() == values_.size());
+  FEM2_CHECK(row_ptr_.back() == values_.size());
+}
+
+Vector CsrMatrix::multiply(std::span<const double> x) const {
+  Vector y(rows_, 0.0);
+  multiply_rows(x, 0, rows_, y);
+  return y;
+}
+
+void CsrMatrix::multiply_rows(std::span<const double> x, std::size_t row_begin,
+                              std::size_t row_end, std::span<double> y) const {
+  FEM2_CHECK(x.size() == cols_);
+  FEM2_CHECK(row_begin <= row_end && row_end <= rows_);
+  FEM2_CHECK(y.size() >= row_end - row_begin);
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r - row_begin] = acc;
+  }
+}
+
+double CsrMatrix::value_at(std::size_t row, std::size_t col) const {
+  FEM2_CHECK(row < rows_ && col < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector d(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = value_at(i, i);
+  return d;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) = values_[k];
+  return m;
+}
+
+void CsrMatrix::row(std::size_t r, std::span<const std::size_t>& cols,
+                    std::span<const double>& vals) const {
+  FEM2_CHECK(r < rows_);
+  const std::size_t begin = row_ptr_[r];
+  const std::size_t count = row_ptr_[r + 1] - begin;
+  cols = {col_idx_.data() + begin, count};
+  vals = {values_.data() + begin, count};
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      if (std::abs(values_[k] - value_at(col_idx_[k], r)) > tol) return false;
+  return true;
+}
+
+std::size_t CsrMatrix::storage_bytes() const {
+  return values_.size() * sizeof(double) +
+         col_idx_.size() * sizeof(std::size_t) +
+         row_ptr_.size() * sizeof(std::size_t);
+}
+
+}  // namespace fem2::la

@@ -1,0 +1,87 @@
+// Compressed sparse row storage.  FEM stiffness matrices are assembled into
+// a TripletBuilder (duplicate entries accumulate, as element contributions
+// do) and compressed into an immutable CsrMatrix for solves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/vec_ops.hpp"
+
+namespace fem2::la {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix;
+
+class TripletBuilder {
+ public:
+  TripletBuilder(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t entries() const { return triplets_.size(); }
+
+  /// Compress into CSR: duplicates summed, explicit zeros dropped.
+  CsrMatrix build() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  Vector multiply(std::span<const double> x) const;  ///< y = A x
+
+  /// y = A x restricted to rows [row_begin, row_end) — the kernel the
+  /// distributed matvec (navm) runs per shard.
+  void multiply_rows(std::span<const double> x, std::size_t row_begin,
+                     std::size_t row_end, std::span<double> y) const;
+
+  double value_at(std::size_t row, std::size_t col) const;  ///< 0 if absent
+
+  Vector diagonal() const;
+
+  DenseMatrix to_dense() const;
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::size_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Nonzeros in one row as parallel spans.
+  void row(std::size_t r, std::span<const std::size_t>& cols,
+           std::span<const double>& vals) const;
+
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Estimated bytes of storage (values + indices + row pointers).
+  std::size_t storage_bytes() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace fem2::la

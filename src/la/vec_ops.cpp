@@ -1,0 +1,47 @@
+#include "la/vec_ops.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace fem2::la {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  FEM2_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  FEM2_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Vector subtract(std::span<const double> x, std::span<const double> y) {
+  FEM2_CHECK(x.size() == y.size());
+  Vector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  return z;
+}
+
+Vector add(std::span<const double> x, std::span<const double> y) {
+  FEM2_CHECK(x.size() == y.size());
+  Vector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+}  // namespace fem2::la

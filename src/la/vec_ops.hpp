@@ -1,0 +1,30 @@
+// Vector kernels.  Vectors are plain std::vector<double>; kernels take
+// std::span so distributed-array shards (src/navm) reuse them unchanged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fem2::la {
+
+using Vector = std::vector<double>;
+
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scale(double alpha, std::span<double> x);
+
+double norm2(std::span<const double> x);
+
+double norm_inf(std::span<const double> x);
+
+/// z = x - y
+Vector subtract(std::span<const double> x, std::span<const double> y);
+
+/// z = x + y
+Vector add(std::span<const double> x, std::span<const double> y);
+
+}  // namespace fem2::la

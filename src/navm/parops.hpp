@@ -1,0 +1,121 @@
+// Parallel sequence control and distributed linear algebra for the
+// numerical analyst's VM.
+//
+//  * forall  — "do all iterations in parallel if possible": initiate K
+//    replications of a task type and join them.
+//  * pardo   — "do all statements in parallel": initiate a heterogeneous
+//    set of tasks and join them all.
+//  * register_parallel_ops — installs the canned task types implementing
+//    the paper's "linear algebra operations: inner product, vector
+//    operations, etc." on distributed data, plus a full distributed
+//    conjugate-gradient solver (navm.cg.driver) whose workers own vector
+//    shards, exchange p-vector segments through windows, and reduce scalars
+//    through collectors — the equation-level parallelism of the paper's
+//    conclusion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "navm/runtime.hpp"
+#include "navm/task.hpp"
+
+namespace fem2::navm {
+
+// --- forall / pardo ----------------------------------------------------------
+
+struct ForallAwait {
+  TaskContext& ctx;
+  std::string task_type;
+  std::uint32_t k;
+  std::function<sysvm::Payload(std::uint32_t)> params_for;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>);
+  std::vector<sysvm::Payload> await_resume();
+};
+
+/// forall i in [0, k): run `task_type`(params_for(i)) in parallel; returns
+/// the children's results (arrival order).
+ForallAwait forall(TaskContext& ctx, std::string task_type, std::uint32_t k,
+                   std::function<sysvm::Payload(std::uint32_t)> params_for);
+
+struct PardoSpec {
+  std::string task_type;
+  sysvm::Payload params;
+};
+
+struct PardoAwait {
+  TaskContext& ctx;
+  std::vector<PardoSpec> specs;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>);
+  std::vector<sysvm::Payload> await_resume();
+};
+
+/// pardo { stmt1, stmt2, ... } end — run all branches in parallel.
+PardoAwait pardo(TaskContext& ctx, std::vector<PardoSpec> specs);
+
+// --- one-shot distributed operations -----------------------------------------
+
+/// Parameters for "navm.op.dot": partial inner product over two windows.
+struct DotParams {
+  Window a;
+  Window b;
+};
+
+/// Parameters for "navm.op.axpy": y ← y + alpha·x over paired windows.
+struct AxpyParams {
+  double alpha = 0.0;
+  Window x;
+  Window y;
+};
+
+/// Parameters for "navm.op.matvec": y_window ← shard · x_window, where the
+/// shard covers global rows [row0, row0+shard.rows()).
+struct MatvecParams {
+  la::CsrMatrix shard;
+  std::size_t row0 = 0;
+  Window x;  ///< full x vector (may be remote)
+  Window y;  ///< output rows of this shard
+};
+
+sysvm::Payload make_dot_params(const DotParams& p);
+sysvm::Payload make_axpy_params(const AxpyParams& p);
+sysvm::Payload make_matvec_params(MatvecParams p);
+
+// --- distributed conjugate gradients -----------------------------------------
+
+struct CgProblem {
+  la::CsrMatrix a;          ///< symmetric positive definite, n×n
+  std::vector<double> b;
+  std::uint32_t workers = 4;
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 10'000;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+sysvm::Payload make_cg_problem(CgProblem problem);
+const CgResult& as_cg_result(const sysvm::Payload& p);
+
+/// Register all navm.op.* worker types and the navm.cg.* solver types.
+/// Idempotent per-Os is NOT provided: call exactly once per Runtime.
+void register_parallel_ops(Runtime& runtime);
+
+/// Task-type names (for direct initiate/forall use).
+inline constexpr const char* kDotTask = "navm.op.dot";
+inline constexpr const char* kAxpyTask = "navm.op.axpy";
+inline constexpr const char* kMatvecTask = "navm.op.matvec";
+inline constexpr const char* kCgDriverTask = "navm.cg.driver";
+inline constexpr const char* kCgWorkerTask = "navm.cg.worker";
+
+}  // namespace fem2::navm

@@ -1,0 +1,122 @@
+// The numerical analyst's VM runtime: registers coroutine task bodies as
+// OS code blocks, owns the array/window registry ("all data owned by a
+// single task; data accessible non-locally only via windows"), provides the
+// window access procedures, and the collector rendezvous used to build
+// reductions on top of remote procedure calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "navm/task.hpp"
+#include "navm/window.hpp"
+#include "sysvm/os.hpp"
+
+namespace fem2::navm {
+
+/// Arguments of the built-in "navm.win.write" procedure.
+struct WriteArgs {
+  Window window;
+  std::vector<double> data;
+};
+
+/// Arguments of the built-in "navm.collect" procedure.
+struct DepositArgs {
+  std::uint64_t collector = 0;
+  sysvm::Payload value;
+};
+
+struct TaskOptions {
+  std::size_t activation_record_bytes = 512;
+  std::size_t code_bytes = 8192;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(sysvm::Os& os);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  sysvm::Os& os() { return os_; }
+
+  // --- task types ---------------------------------------------------------
+  void define_task(const std::string& name, TaskBody body,
+                   TaskOptions options = {});
+
+  /// Start a root task from the external environment and return its id.
+  sysvm::TaskId launch(const std::string& name, sysvm::Payload params = {},
+                       hw::ClusterId from = hw::ClusterId{0});
+
+  /// Run the machine to completion.
+  void run() { os_.run(); }
+
+  const sysvm::Payload& result(sysvm::TaskId task) const {
+    return os_.task_result(task);
+  }
+
+  // --- arrays & windows ----------------------------------------------------
+  struct ArrayInfo {
+    ArrayId id = kNoArray;
+    sysvm::TaskId owner = sysvm::kNoTask;
+    hw::ClusterId cluster;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<double> data;  ///< row-major host mirror of simulated storage
+  };
+
+  /// Create an array owned by the calling task, in its cluster's shared
+  /// memory (charged to the task's heap).  Returns the full window.
+  Window create_array(TaskContext& ctx, std::size_t rows, std::size_t cols,
+                      std::vector<double> init = {});
+
+  /// Owner-alive-checked lookup ("data lifetime - lifetime of owner task").
+  const ArrayInfo& array_info(ArrayId id) const;
+
+  /// All array ids ever created (for inspection; includes dead owners).
+  std::vector<ArrayId> array_ids() const;
+  /// Unchecked lookup for inspection of arrays with terminated owners.
+  const ArrayInfo& array_info_unchecked(ArrayId id) const;
+  hw::ClusterId window_cluster(const Window& window) const;
+
+  std::vector<double> gather(const Window& window) const;
+  void scatter(const Window& window, std::span<const double> data);
+
+  // --- collectors -----------------------------------------------------------
+  /// Rendezvous for reductions: `expected` deposits fill it, then the
+  /// waiting task wakes.  Auto-resets when taken, so iterative algorithms
+  /// can reuse one collector per phase.
+  std::uint64_t make_collector(TaskContext& ctx, std::size_t expected);
+
+  // Used by TaskContext::CollectAwait.
+  bool collector_full(std::uint64_t id) const;
+  std::vector<sysvm::Payload> collector_take(std::uint64_t id);
+  void collector_arm(std::uint64_t id, sysvm::CallToken token);
+
+ private:
+  struct Collector {
+    std::size_t expected = 0;
+    sysvm::TaskId owner = sysvm::kNoTask;
+    hw::ClusterId cluster;
+    std::vector<sysvm::Payload> items;
+    sysvm::CallToken waiting_token = 0;
+  };
+
+  void register_builtin_procedures();
+  sysvm::Payload procedure_window_read(sysvm::ProcedureContext& ctx,
+                                       const sysvm::Payload& args);
+  sysvm::Payload procedure_window_write(sysvm::ProcedureContext& ctx,
+                                        const sysvm::Payload& args);
+  sysvm::Payload procedure_collect(sysvm::ProcedureContext& ctx,
+                                   const sysvm::Payload& args);
+
+  sysvm::Os& os_;
+  std::map<ArrayId, ArrayInfo> arrays_;
+  std::map<std::uint64_t, Collector> collectors_;
+  ArrayId next_array_ = 1;
+  std::uint64_t next_collector_ = 1;
+};
+
+}  // namespace fem2::navm

@@ -1,0 +1,56 @@
+#include "navm/window.hpp"
+
+namespace fem2::navm {
+
+Window Window::row(std::size_t i) const {
+  FEM2_CHECK(i < rows);
+  return Window{array, row0 + i, col0, 1, cols};
+}
+
+Window Window::col(std::size_t j) const {
+  FEM2_CHECK(j < cols);
+  return Window{array, row0, col0 + j, rows, 1};
+}
+
+Window Window::block(std::size_t r0, std::size_t c0, std::size_t nrows,
+                     std::size_t ncols) const {
+  FEM2_CHECK(r0 + nrows <= rows && c0 + ncols <= cols);
+  return Window{array, row0 + r0, col0 + c0, nrows, ncols};
+}
+
+std::vector<Window> Window::split_rows(std::size_t k) const {
+  FEM2_CHECK(k > 0);
+  std::vector<Window> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = block_begin(rows, k, i);
+    const std::size_t end = block_begin(rows, k, i + 1);
+    if (end > begin) out.push_back(block(begin, 0, end - begin, cols));
+  }
+  return out;
+}
+
+std::vector<Window> Window::split_cols(std::size_t k) const {
+  FEM2_CHECK(k > 0);
+  std::vector<Window> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = block_begin(cols, k, i);
+    const std::size_t end = block_begin(cols, k, i + 1);
+    if (end > begin) out.push_back(block(0, begin, rows, end - begin));
+  }
+  return out;
+}
+
+Window Window::range(std::size_t offset, std::size_t count) const {
+  FEM2_CHECK_MSG(cols == 1, "range() applies to vector-shaped windows");
+  FEM2_CHECK(offset + count <= rows);
+  return Window{array, row0 + offset, col0, count, 1};
+}
+
+std::size_t block_begin(std::size_t n, std::size_t k, std::size_t i) {
+  FEM2_CHECK(k > 0 && i <= k);
+  return i * (n / k) + std::min(i, n % k);
+}
+
+}  // namespace fem2::navm

@@ -1,0 +1,57 @@
+// Windows on arrays — the numerical analyst's VM data-control mechanism:
+// "row, column, block descriptors, for remote access to non-local data".
+//
+// An Array is a 2-D row-major block of reals owned by a single task and
+// resident in that task's cluster ("all data owned by a single task; data
+// accessible non-locally only via windows").  A Window is a rectangular
+// view descriptor: a small value that can be "transmitted as parameters,
+// further partitioned, stored as values of variables".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "support/check.hpp"
+
+namespace fem2::navm {
+
+using ArrayId = std::uint64_t;
+inline constexpr ArrayId kNoArray = 0;
+
+struct Window {
+  ArrayId array = kNoArray;
+  std::size_t row0 = 0;
+  std::size_t col0 = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::size_t elements() const { return rows * cols; }
+  std::size_t bytes() const { return elements() * sizeof(double); }
+  bool valid() const { return array != kNoArray && rows > 0 && cols > 0; }
+
+  /// Wire size of the descriptor itself when sent in a message.
+  static constexpr std::size_t kDescriptorBytes = 40;
+
+  // --- partitioning ("windows may be further partitioned") -----------------
+  Window row(std::size_t i) const;
+  Window col(std::size_t j) const;
+  Window block(std::size_t r0, std::size_t c0, std::size_t nrows,
+               std::size_t ncols) const;
+
+  /// Split into k row-bands of near-equal height (first bands get the
+  /// remainder), preserving column extent.
+  std::vector<Window> split_rows(std::size_t k) const;
+  std::vector<Window> split_cols(std::size_t k) const;
+
+  /// Contiguous 1-D view semantics for vector-shaped (single-column) data.
+  Window range(std::size_t offset, std::size_t count) const;
+
+  friend bool operator==(const Window& a, const Window& b) = default;
+};
+
+/// Evenly partition n items into k blocks: block i covers
+/// [block_begin(n,k,i), block_begin(n,k,i+1)).
+std::size_t block_begin(std::size_t n, std::size_t k, std::size_t i);
+
+}  // namespace fem2::navm

@@ -1,0 +1,37 @@
+// Formal H-graph grammars of the four FEM-2 virtual-machine layers.
+//
+// "Each layer of virtual machine is formally specified during the design
+// process, using the methods of H-graph semantics to construct a formal
+// model of each layer."  Here the grammars are machine-checkable: the
+// reflect_* functions (reflect.hpp) project live implementation state into
+// H-graphs, and tests assert that every reachable state is in the language
+// of its layer's grammar.
+#pragma once
+
+#include <string_view>
+
+#include "hgraph/grammar.hpp"
+
+namespace fem2::spec {
+
+/// Layer 1 — application user's VM: structure models, grids, load sets,
+/// displacements, stresses, workspace and database.
+std::string_view appvm_grammar_text();
+hgraph::Grammar appvm_grammar();
+
+/// Layer 2 — numerical analyst's VM: tasks, windows on arrays,
+/// task-control state.
+std::string_view navm_grammar_text();
+hgraph::Grammar navm_grammar();
+
+/// Layer 3 — system programmer's VM: the seven message types, activation
+/// records, ready queues, heap blocks.
+std::string_view sysvm_grammar_text();
+hgraph::Grammar sysvm_grammar();
+
+/// Layer 4 — hardware: clusters of PEs around shared memories on a common
+/// network.
+std::string_view hw_grammar_text();
+hgraph::Grammar hw_grammar();
+
+}  // namespace fem2::spec

@@ -1,0 +1,40 @@
+// Projection of live implementation state into H-graphs — the bridge that
+// makes the formal layer specifications (layers.hpp) checkable against the
+// running system.
+#pragma once
+
+#include "appvm/command.hpp"
+#include "fem/model.hpp"
+#include "hgraph/hgraph.hpp"
+#include "hw/machine.hpp"
+#include "navm/runtime.hpp"
+#include "sysvm/os.hpp"
+
+namespace fem2::spec {
+
+// --- layer 1 ------------------------------------------------------------
+hgraph::NodeId reflect_model(hgraph::HGraph& g,
+                             const fem::StructureModel& model);
+hgraph::NodeId reflect_displacements(hgraph::HGraph& g,
+                                     const fem::Displacements& u);
+hgraph::NodeId reflect_results(hgraph::HGraph& g,
+                               const fem::AnalysisResult& results);
+hgraph::NodeId reflect_workspace(hgraph::HGraph& g,
+                                 const appvm::Session& session);
+hgraph::NodeId reflect_database(hgraph::HGraph& g,
+                                const appvm::Database& database);
+
+// --- layer 2 ------------------------------------------------------------
+hgraph::NodeId reflect_window(hgraph::HGraph& g, const navm::Window& window);
+hgraph::NodeId reflect_task_system(hgraph::HGraph& g, const sysvm::Os& os,
+                                   const navm::Runtime& runtime);
+
+// --- layer 3 -----------------------------------------------------------
+hgraph::NodeId reflect_message(hgraph::HGraph& g, const sysvm::Message& m);
+hgraph::NodeId reflect_kernel(hgraph::HGraph& g, sysvm::Os& os,
+                              hw::ClusterId cluster);
+
+// --- layer 4 ------------------------------------------------------------
+hgraph::NodeId reflect_machine(hgraph::HGraph& g, const hw::Machine& machine);
+
+}  // namespace fem2::spec

@@ -1,0 +1,140 @@
+#include "spec/transforms.hpp"
+
+#include <string>
+
+#include "hgraph/grammar_parser.hpp"
+#include "spec/layers.hpp"
+
+namespace fem2::spec {
+
+namespace {
+
+using hgraph::HGraph;
+using hgraph::Invoker;
+using hgraph::NodeId;
+
+std::string transform_grammar_text() {
+  return std::string(appvm_grammar_text()) + R"(
+# Argument records of the layer-1 transforms.
+modelname    ::= { name: STRING }
+addnode_args ::= { model: structure, x: REAL, y: REAL }
+addload_args ::= { model: structure, set: STRING, node: INT, dof: INT,
+                   value: REAL }
+grid_args    ::= { model: structure, nx: INT, ny: INT, width: REAL,
+                   height: REAL }
+)";
+}
+
+/// Number of arcs of the indexed family `base[i]` on `node` (the next free
+/// index when appending).
+std::size_t family_size(const HGraph& g, NodeId node, std::string_view base) {
+  std::size_t count = 0;
+  for (const auto& arc : g.arcs(node)) {
+    if (arc.label.size() > base.size() + 2 && arc.label.starts_with(base) &&
+        arc.label[base.size()] == '[')
+      ++count;
+  }
+  return count;
+}
+
+std::string indexed(std::string_view base, std::size_t i) {
+  return std::string(base) + "[" + std::to_string(i) + "]";
+}
+
+NodeId define_structure_model(Invoker&, HGraph& g, NodeId arg) {
+  const NodeId name = g.follow(arg, "name");
+  const NodeId model = g.add_node();
+  g.add_arc(model, "name",
+            g.add_string(std::string(*g.string_value(name))));
+  return model;
+}
+
+NodeId add_node_transform(Invoker&, HGraph& g, NodeId arg) {
+  const NodeId model = g.follow(arg, "model");
+  const NodeId point = g.add_node();
+  g.add_arc(point, "x", g.add_real(*g.real_value(g.follow(arg, "x"))));
+  g.add_arc(point, "y", g.add_real(*g.real_value(g.follow(arg, "y"))));
+  g.add_arc(model, indexed("node", family_size(g, model, "node")), point);
+  return model;
+}
+
+NodeId add_load_transform(Invoker&, HGraph& g, NodeId arg) {
+  const NodeId model = g.follow(arg, "model");
+  const std::string set(*g.string_value(g.follow(arg, "set")));
+
+  // Find or create the load set with this name.
+  NodeId set_node{};
+  const std::size_t sets = family_size(g, model, "loadset");
+  for (std::size_t i = 0; i < sets; ++i) {
+    const NodeId candidate = g.follow(model, indexed("loadset", i));
+    if (*g.string_value(g.follow(candidate, "name")) == set) {
+      set_node = candidate;
+      break;
+    }
+  }
+  if (!set_node.valid()) {
+    set_node = g.add_node();
+    g.add_arc(set_node, "name", g.add_string(set));
+    g.add_arc(model, indexed("loadset", sets), set_node);
+  }
+
+  const NodeId load = g.add_node();
+  g.add_arc(load, "node", g.add_int(*g.int_value(g.follow(arg, "node"))));
+  g.add_arc(load, "dof", g.add_int(*g.int_value(g.follow(arg, "dof"))));
+  g.add_arc(load, "value", g.add_real(*g.real_value(g.follow(arg, "value"))));
+  g.add_arc(set_node, indexed("pointload", family_size(g, set_node, "pointload")),
+            load);
+  return model;
+}
+
+NodeId generate_grid_transform(Invoker& invoker, HGraph& g, NodeId arg) {
+  const NodeId model = g.follow(arg, "model");
+  const auto nx = static_cast<std::size_t>(*g.int_value(g.follow(arg, "nx")));
+  const auto ny = static_cast<std::size_t>(*g.int_value(g.follow(arg, "ny")));
+  const double width = *g.real_value(g.follow(arg, "width"));
+  const double height = *g.real_value(g.follow(arg, "height"));
+
+  // Invoke add-node for each grid point — the subprogram-call hierarchy.
+  for (std::size_t j = 0; j <= ny; ++j) {
+    for (std::size_t i = 0; i <= nx; ++i) {
+      const NodeId call_arg = g.add_node();
+      g.add_arc(call_arg, "model", model);
+      g.add_arc(call_arg, "x",
+                g.add_real(width * static_cast<double>(i) /
+                           static_cast<double>(nx)));
+      g.add_arc(call_arg, "y",
+                g.add_real(height * static_cast<double>(j) /
+                           static_cast<double>(ny)));
+      invoker.call("add-node", call_arg);
+    }
+  }
+  return model;
+}
+
+NodeId count_nodes_transform(Invoker&, HGraph& g, NodeId model) {
+  return g.add_int(static_cast<std::int64_t>(family_size(g, model, "node")));
+}
+
+}  // namespace
+
+hgraph::Grammar appvm_transform_grammar() {
+  return hgraph::parse_grammar(transform_grammar_text());
+}
+
+hgraph::TransformRegistry make_appvm_transforms() {
+  hgraph::TransformRegistry registry(appvm_transform_grammar());
+  registry.register_transform("define-structure-model",
+                              {"modelname", "structure"},
+                              define_structure_model);
+  registry.register_transform("add-node", {"addnode_args", "structure"},
+                              add_node_transform);
+  registry.register_transform("add-load", {"addload_args", "structure"},
+                              add_load_transform);
+  registry.register_transform("generate-grid", {"grid_args", "structure"},
+                              generate_grid_transform);
+  registry.register_transform("count-nodes", {"structure", "INT"},
+                              count_nodes_transform);
+  return registry;
+}
+
+}  // namespace fem2::spec

@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace fem2::support {
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  std::ostringstream os;
+  os << "FEM2_CHECK failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  os << " at " << loc.file_name() << ":" << loc.line() << " in "
+     << loc.function_name();
+  throw CheckError(os.str());
+}
+
+}  // namespace fem2::support

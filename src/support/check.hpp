@@ -1,0 +1,53 @@
+// Error handling for the FEM-2 library.
+//
+// Two categories, per the C++ Core Guidelines split between programming
+// errors and recoverable conditions:
+//   * FEM2_CHECK / FEM2_CHECK_MSG — invariants and preconditions.  A failed
+//     check throws fem2::support::CheckError; tests assert on these.
+//   * fem2::support::Error — recoverable, user-facing failures (bad command
+//     syntax, singular matrix, machine misconfiguration).  Subsystems define
+//     derived types.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace fem2::support {
+
+/// Base class for all recoverable FEM-2 errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by FEM2_CHECK on violated invariants; indicates a bug, not input.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc);
+
+}  // namespace fem2::support
+
+#define FEM2_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::fem2::support::check_failed(#expr, "",                            \
+                                    std::source_location::current());     \
+    }                                                                     \
+  } while (0)
+
+#define FEM2_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::fem2::support::check_failed(#expr, (msg),                         \
+                                    std::source_location::current());     \
+    }                                                                     \
+  } while (0)
+
+#define FEM2_UNREACHABLE(msg)                                             \
+  ::fem2::support::check_failed("unreachable", (msg),                     \
+                                std::source_location::current())

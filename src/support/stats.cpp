@@ -1,0 +1,111 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace fem2::support {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / nt;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  FEM2_CHECK(hi > lo);
+  FEM2_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(f * static_cast<double>(buckets()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(buckets()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  FEM2_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(buckets());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  FEM2_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc > target) return bucket_hi(i);
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  FEM2_CHECK(!samples.empty());
+  FEM2_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace fem2::support

@@ -1,0 +1,56 @@
+// ASCII table rendering for the benchmark harness: every experiment prints
+// the rows/series the paper's simulation program calls for as a monospace
+// table with aligned columns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fem2::support {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Column headers; must be set before rows are added.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a pre-formatted row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: mixed cell types.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(std::string v);
+    RowBuilder& cell(const char* v);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(int v);
+    RowBuilder& cell(double v, int precision = 3);
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fem2::support

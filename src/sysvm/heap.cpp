@@ -1,0 +1,156 @@
+#include "sysvm/heap.hpp"
+
+#include <algorithm>
+
+namespace fem2::sysvm {
+
+std::string_view heap_policy_name(HeapPolicy p) {
+  switch (p) {
+    case HeapPolicy::FirstFit: return "first-fit";
+    case HeapPolicy::BestFit: return "best-fit";
+    case HeapPolicy::NextFit: return "next-fit";
+  }
+  FEM2_UNREACHABLE("bad HeapPolicy");
+}
+
+Heap::Heap(std::size_t capacity, HeapPolicy policy, std::size_t alignment)
+    : capacity_(capacity), policy_(policy), alignment_(alignment) {
+  FEM2_CHECK(capacity > 0);
+  FEM2_CHECK_MSG(alignment > 0 && (alignment & (alignment - 1)) == 0,
+                 "alignment must be a power of two");
+  free_.emplace(0, capacity);
+}
+
+std::map<std::size_t, std::size_t>::iterator Heap::find_fit(
+    std::size_t bytes) {
+  switch (policy_) {
+    case HeapPolicy::FirstFit: {
+      for (auto it = free_.begin(); it != free_.end(); ++it) {
+        ++stats_.search_steps;
+        if (it->second >= bytes) return it;
+      }
+      return free_.end();
+    }
+    case HeapPolicy::BestFit: {
+      auto best = free_.end();
+      for (auto it = free_.begin(); it != free_.end(); ++it) {
+        ++stats_.search_steps;
+        if (it->second >= bytes &&
+            (best == free_.end() || it->second < best->second)) {
+          best = it;
+        }
+      }
+      return best;
+    }
+    case HeapPolicy::NextFit: {
+      // Start at the cursor, wrap once.
+      auto start = free_.lower_bound(next_fit_cursor_);
+      for (auto it = start; it != free_.end(); ++it) {
+        ++stats_.search_steps;
+        if (it->second >= bytes) return it;
+      }
+      for (auto it = free_.begin(); it != start; ++it) {
+        ++stats_.search_steps;
+        if (it->second >= bytes) return it;
+      }
+      return free_.end();
+    }
+  }
+  FEM2_UNREACHABLE("bad HeapPolicy");
+}
+
+std::size_t Heap::allocate(std::size_t bytes) {
+  FEM2_CHECK_MSG(bytes > 0, "zero-byte allocation");
+  bytes = (bytes + alignment_ - 1) & ~(alignment_ - 1);
+
+  const auto it = find_fit(bytes);
+  ++stats_.allocations;
+  if (it == free_.end()) {
+    ++stats_.failed_allocations;
+    --stats_.allocations;  // count only successful allocations
+    return kNullAddress;
+  }
+  const std::size_t address = it->first;
+  const std::size_t block = it->second;
+  free_.erase(it);
+  if (block > bytes) {
+    free_.emplace(address + bytes, block - bytes);
+  }
+  allocated_.emplace(address, bytes);
+  stats_.in_use += bytes;
+  stats_.high_water = std::max(stats_.high_water, stats_.in_use);
+  next_fit_cursor_ = address + bytes;
+  return address;
+}
+
+void Heap::free(std::size_t address) {
+  const auto it = allocated_.find(address);
+  FEM2_CHECK_MSG(it != allocated_.end(), "freeing an unallocated address");
+  std::size_t start = it->first;
+  std::size_t size = it->second;
+  allocated_.erase(it);
+  stats_.in_use -= size;
+  ++stats_.frees;
+
+  // Coalesce with the following free block.
+  auto next = free_.lower_bound(start);
+  if (next != free_.end() && next->first == start + size) {
+    size += next->second;
+    next = free_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      size += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(start, size);
+}
+
+std::size_t Heap::largest_free_block() const {
+  std::size_t largest = 0;
+  for (const auto& [addr, size] : free_) largest = std::max(largest, size);
+  return largest;
+}
+
+std::size_t Heap::block_size(std::size_t address) const {
+  const auto it = allocated_.find(address);
+  FEM2_CHECK_MSG(it != allocated_.end(), "block_size of unallocated address");
+  return it->second;
+}
+
+const HeapStats& Heap::stats() const {
+  const std::size_t total_free = capacity_ - stats_.in_use;
+  stats_.external_fragmentation =
+      total_free == 0 ? 0.0
+                      : 1.0 - static_cast<double>(largest_free_block()) /
+                                  static_cast<double>(total_free);
+  return stats_;
+}
+
+void Heap::check_invariants() const {
+  // Allocated and free blocks must tile [0, capacity) without overlap, and
+  // no two free blocks may be adjacent (full coalescing).
+  std::map<std::size_t, std::pair<std::size_t, bool>> blocks;  // addr -> (size, is_free)
+  for (const auto& [a, s] : allocated_) blocks.emplace(a, std::make_pair(s, false));
+  for (const auto& [a, s] : free_) {
+    const bool inserted = blocks.emplace(a, std::make_pair(s, true)).second;
+    FEM2_CHECK_MSG(inserted, "heap: address in both free and allocated maps");
+  }
+  std::size_t cursor = 0;
+  bool prev_free = false;
+  for (const auto& [addr, info] : blocks) {
+    FEM2_CHECK_MSG(addr == cursor, "heap: gap or overlap in address space");
+    FEM2_CHECK_MSG(info.first > 0, "heap: zero-size block");
+    FEM2_CHECK_MSG(!(prev_free && info.second),
+                   "heap: adjacent free blocks not coalesced");
+    cursor = addr + info.first;
+    prev_free = info.second;
+  }
+  FEM2_CHECK_MSG(cursor == capacity_, "heap: blocks do not cover capacity");
+}
+
+}  // namespace fem2::sysvm

@@ -1,0 +1,139 @@
+// The system programmer's VM message protocol — exactly the seven message
+// types the paper lists:
+//
+//   "Messages from tasks:
+//      initiate K replications of a task of type T
+//      pause and notify parent task
+//      resume a child task
+//      terminate and notify parent
+//      remote procedure call
+//      remote procedure return
+//      load code/constants"
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "hw/config.hpp"
+#include "support/check.hpp"
+
+namespace fem2::sysvm {
+
+/// Globally unique task identity.  Id 0 is reserved for "no task" (the
+/// external environment / machine boot).
+using TaskId = std::uint64_t;
+inline constexpr TaskId kNoTask = 0;
+
+/// Token correlating a remote procedure call with its return.
+using CallToken = std::uint64_t;
+
+/// A typed value travelling in a message, with its wire size.  The payload
+/// value itself is host data (std::any); `bytes` is what the simulated
+/// network and memory accounting charge for it.
+struct Payload {
+  std::any value;
+  std::size_t bytes = 0;
+
+  Payload() = default;
+  Payload(std::any v, std::size_t b) : value(std::move(v)), bytes(b) {}
+
+  bool empty() const { return !value.has_value(); }
+
+  template <typename T>
+  const T& as() const {
+    const T* p = std::any_cast<T>(&value);
+    if (p == nullptr) {
+      throw support::Error(std::string("payload type mismatch: expected ") +
+                           typeid(T).name());
+    }
+    return *p;
+  }
+
+  template <typename T>
+  static Payload of(T v, std::size_t bytes) {
+    return Payload(std::any(std::move(v)), bytes);
+  }
+};
+
+/// "initiate K replications of a task of type T".  One message per
+/// replication arrives at the hosting cluster (the OS fans the request out
+/// at the source, as a real kernel would build K activation requests).
+struct MsgInitiate {
+  std::string task_type;
+  TaskId task = kNoTask;            ///< id pre-assigned by the initiating OS
+  TaskId parent = kNoTask;
+  std::uint32_t replication_index = 0;
+  std::uint32_t replication_count = 1;
+  Payload params;
+};
+
+/// "pause and notify parent task" — sent to the parent's cluster.
+struct MsgPauseNotify {
+  TaskId child = kNoTask;
+  TaskId parent = kNoTask;
+};
+
+/// "resume a child task" — may carry a datum (broadcast delivers data to a
+/// set of paused tasks by resuming each with the payload).
+struct MsgResumeChild {
+  TaskId child = kNoTask;
+  Payload datum;
+};
+
+/// "terminate and notify parent" — carries the task's result.
+struct MsgTerminateNotify {
+  TaskId child = kNoTask;
+  TaskId parent = kNoTask;
+  Payload result;
+};
+
+/// "remote procedure call" — location was determined by the caller (from
+/// the window the procedure operates on); executed by any available PE of
+/// the target cluster.
+struct MsgRemoteCall {
+  std::string procedure;
+  TaskId caller = kNoTask;
+  CallToken token = 0;
+  Payload args;
+};
+
+/// "remote procedure return".
+struct MsgRemoteReturn {
+  TaskId caller = kNoTask;
+  CallToken token = 0;
+  Payload result;
+};
+
+/// "load code/constants" — ships a code block to a cluster that does not
+/// yet hold it.
+struct MsgLoadCode {
+  std::string task_type;
+  std::size_t code_bytes = 0;
+};
+
+using Message =
+    std::variant<MsgInitiate, MsgPauseNotify, MsgResumeChild,
+                 MsgTerminateNotify, MsgRemoteCall, MsgRemoteReturn,
+                 MsgLoadCode>;
+
+/// Stable index for metrics tables (order matches the paper's list).
+enum class MessageType : std::size_t {
+  Initiate = 0,
+  PauseNotify = 1,
+  ResumeChild = 2,
+  TerminateNotify = 3,
+  RemoteCall = 4,
+  RemoteReturn = 5,
+  LoadCode = 6,
+};
+inline constexpr std::size_t kMessageTypeCount = 7;
+
+MessageType message_type(const Message& m);
+std::string_view message_type_name(MessageType t);
+
+/// Wire size: fixed header plus name strings plus payload bytes.
+std::size_t message_bytes(const Message& m);
+
+}  // namespace fem2::sysvm

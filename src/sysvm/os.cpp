@@ -1,0 +1,739 @@
+#include "sysvm/os.hpp"
+
+#include <algorithm>
+
+namespace fem2::sysvm {
+
+// ---------------------------------------------------------------------------
+// TaskApi
+
+TaskApi::TaskApi(Os& os, TaskId self) : os_(os), self_(self) {}
+
+hw::ClusterId TaskApi::cluster() const { return os_.record(self_).cluster; }
+
+std::uint32_t TaskApi::replication_index() const {
+  return os_.record(self_).replication_index;
+}
+
+std::uint32_t TaskApi::replication_count() const {
+  return os_.record(self_).replication_count;
+}
+
+void TaskApi::charge_flops(std::uint64_t flops) {
+  charged_ += flops * os_.config().cycles_per_flop;
+}
+
+void TaskApi::charge_words(std::uint64_t words) {
+  charged_ += words * os_.config().cycles_per_word;
+}
+
+void TaskApi::begin_step() {
+  charged_ = 0;
+  outgoing_.clear();
+  intent_ = WaitIntent{};
+}
+
+std::vector<TaskId> TaskApi::initiate(
+    const std::string& task_type, std::uint32_t k,
+    const std::function<Payload(std::uint32_t)>& params_for) {
+  FEM2_CHECK_MSG(k > 0, "initiate requires at least one replication");
+  FEM2_CHECK_MSG(os_.has_task_type(task_type),
+                 "initiate of unregistered task type: " + task_type);
+  std::vector<TaskId> ids;
+  ids.reserve(k);
+  const hw::ClusterId source = cluster();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    MsgInitiate m;
+    m.task_type = task_type;
+    m.task = os_.next_task_id_++;
+    m.parent = self_;
+    m.replication_index = i;
+    m.replication_count = k;
+    m.params = params_for ? params_for(i) : Payload{};
+    ids.push_back(m.task);
+    const hw::ClusterId target = os_.choose_cluster(source);
+    os_.task_homes_.emplace(m.task, target);
+    outgoing_.emplace_back(target, Message{std::move(m)});
+  }
+  return ids;
+}
+
+CallToken TaskApi::remote_call(hw::ClusterId destination,
+                               std::string procedure, Payload args) {
+  MsgRemoteCall m;
+  m.procedure = std::move(procedure);
+  m.caller = self_;
+  m.token = os_.next_call_token_++;
+  m.args = std::move(args);
+  const CallToken token = m.token;
+  outgoing_.emplace_back(destination, Message{std::move(m)});
+  return token;
+}
+
+void TaskApi::resume_child(TaskId child, Payload datum) {
+  MsgResumeChild m;
+  m.child = child;
+  m.datum = std::move(datum);
+  outgoing_.emplace_back(os_.task_cluster(child), Message{std::move(m)});
+}
+
+void TaskApi::block_on_reply(CallToken token) {
+  FEM2_CHECK_MSG(intent_.kind == WaitIntent::Kind::None,
+                 "one blocking intent per step");
+  intent_ = {WaitIntent::Kind::Reply, token, 0};
+}
+
+void TaskApi::block_on_child_terminations(std::size_t count) {
+  FEM2_CHECK_MSG(intent_.kind == WaitIntent::Kind::None,
+                 "one blocking intent per step");
+  intent_ = {WaitIntent::Kind::ChildTerminations, 0, count};
+}
+
+void TaskApi::block_on_child_pauses(std::size_t count) {
+  FEM2_CHECK_MSG(intent_.kind == WaitIntent::Kind::None,
+                 "one blocking intent per step");
+  intent_ = {WaitIntent::Kind::ChildPauses, 0, count};
+}
+
+void TaskApi::block_for_pause() {
+  FEM2_CHECK_MSG(intent_.kind == WaitIntent::Kind::None,
+                 "one blocking intent per step");
+  intent_ = {WaitIntent::Kind::Pause, 0, 0};
+  auto& rec = os_.record(self_);
+  if (rec.parent != kNoTask) {
+    MsgPauseNotify m;
+    m.child = self_;
+    m.parent = rec.parent;
+    outgoing_.emplace_back(os_.task_cluster(rec.parent), Message{std::move(m)});
+  }
+}
+
+std::vector<Payload> TaskApi::take_child_results() {
+  auto& rec = os_.record(self_);
+  std::vector<Payload> out = std::move(rec.child_results);
+  rec.child_results.clear();
+  return out;
+}
+
+std::vector<TaskId> TaskApi::take_paused_children() {
+  auto& rec = os_.record(self_);
+  std::vector<TaskId> out = std::move(rec.paused_children);
+  rec.paused_children.clear();
+  return out;
+}
+
+std::size_t TaskApi::heap_allocate(std::size_t bytes) {
+  auto& rec = os_.record(self_);
+  Heap& heap = os_.heap(rec.cluster);
+  const std::size_t address = heap.allocate(bytes);
+  if (address == Heap::kNullAddress) {
+    throw hw::OutOfMemory("task heap allocation of " + std::to_string(bytes) +
+                          " bytes failed in cluster " +
+                          std::to_string(rec.cluster.index));
+  }
+  os_.machine().allocate(rec.cluster, heap.block_size(address));
+  rec.owned_heap_blocks.push_back(address);
+  return address;
+}
+
+void TaskApi::heap_free(std::size_t address) {
+  auto& rec = os_.record(self_);
+  Heap& heap = os_.heap(rec.cluster);
+  os_.machine().release(rec.cluster, heap.block_size(address));
+  heap.free(address);
+  std::erase(rec.owned_heap_blocks, address);
+}
+
+// ---------------------------------------------------------------------------
+// ProcedureContext
+
+void ProcedureContext::charge_flops(std::uint64_t flops) {
+  charged += flops * os.config().cycles_per_flop;
+}
+
+void ProcedureContext::charge_words(std::uint64_t words) {
+  charged += words * os.config().cycles_per_word;
+}
+
+// ---------------------------------------------------------------------------
+// Os
+
+std::string_view task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::Ready: return "ready";
+    case TaskState::Running: return "running";
+    case TaskState::Blocked: return "blocked";
+    case TaskState::Paused: return "paused";
+    case TaskState::Finished: return "finished";
+  }
+  FEM2_UNREACHABLE("bad TaskState");
+}
+
+std::uint64_t OsMetrics::total_messages() const {
+  std::uint64_t total = 0;
+  for (auto v : messages_sent) total += v;
+  return total;
+}
+
+std::uint64_t OsMetrics::total_message_bytes() const {
+  std::uint64_t total = 0;
+  for (auto v : message_bytes_sent) total += v;
+  return total;
+}
+
+Os::Os(hw::Machine& machine, OsOptions options)
+    : machine_(machine), options_(options) {
+  clusters_.resize(machine_.cluster_count());
+  heaps_.reserve(machine_.cluster_count());
+  for (std::size_t i = 0; i < machine_.cluster_count(); ++i)
+    heaps_.emplace_back(machine_.memory_capacity(), options_.heap_policy);
+  machine_.set_cluster_service([this](hw::ClusterId c) { service(c); });
+  machine_.set_work_lost_handler([this](hw::ClusterId c) { on_work_lost(c); });
+}
+
+void Os::register_task_type(CodeBlock block) {
+  FEM2_CHECK_MSG(block.factory != nullptr, "code block without a factory");
+  FEM2_CHECK_MSG(!block.name.empty(), "code block without a name");
+  const std::string name = block.name;
+  const bool inserted = code_.emplace(name, std::move(block)).second;
+  FEM2_CHECK_MSG(inserted, "duplicate task type: " + name);
+}
+
+void Os::register_procedure(Procedure procedure) {
+  FEM2_CHECK_MSG(procedure.fn != nullptr, "procedure without a body");
+  const std::string name = procedure.name;
+  const bool inserted = procedures_.emplace(name, std::move(procedure)).second;
+  FEM2_CHECK_MSG(inserted, "duplicate procedure: " + name);
+}
+
+bool Os::has_task_type(std::string_view name) const {
+  return code_.find(name) != code_.end();
+}
+
+TaskId Os::launch(const std::string& task_type, Payload params,
+                  hw::ClusterId from) {
+  FEM2_CHECK_MSG(has_task_type(task_type),
+                 "launch of unregistered task type: " + task_type);
+  MsgInitiate m;
+  m.task_type = task_type;
+  m.task = next_task_id_++;
+  m.parent = kNoTask;
+  m.params = std::move(params);
+  const TaskId id = m.task;
+  const hw::ClusterId target = choose_cluster(from);
+  task_homes_.emplace(id, target);
+  send(from, target, Message{std::move(m)});
+  return id;
+}
+
+void Os::run() { machine_.engine().run(); }
+
+TaskState Os::task_state(TaskId task) const { return record(task).state; }
+
+bool Os::task_finished(TaskId task) const {
+  const auto it = tasks_.find(task);
+  return it != tasks_.end() && it->second.state == TaskState::Finished;
+}
+
+const Payload& Os::task_result(TaskId task) const {
+  const auto& rec = record(task);
+  FEM2_CHECK_MSG(rec.state == TaskState::Finished,
+                 "task_result of an unfinished task");
+  return rec.result;
+}
+
+hw::ClusterId Os::task_cluster(TaskId task) const {
+  const auto it = task_homes_.find(task);
+  FEM2_CHECK_MSG(it != task_homes_.end(),
+                 "unknown task id " + std::to_string(task));
+  return it->second;
+}
+
+std::size_t Os::live_tasks() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : tasks_)
+    if (rec.state != TaskState::Finished) ++n;
+  return n;
+}
+
+std::vector<TaskId> Os::task_ids() const {
+  std::vector<TaskId> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, rec] : tasks_) out.push_back(id);
+  return out;
+}
+
+Os::TaskInfo Os::task_info(TaskId task) const {
+  const auto& rec = record(task);
+  return {rec.id,    rec.type,
+          rec.parent, rec.cluster,
+          rec.state,  rec.replication_index,
+          rec.replication_count};
+}
+
+std::size_t Os::ready_depth(hw::ClusterId cluster) const {
+  FEM2_CHECK(cluster.valid() && cluster.index < clusters_.size());
+  return clusters_[cluster.index].ready.size();
+}
+
+Heap& Os::heap(hw::ClusterId cluster) {
+  FEM2_CHECK(cluster.valid() && cluster.index < heaps_.size());
+  return heaps_[cluster.index];
+}
+
+Os::TaskRecord& Os::record(TaskId task) {
+  const auto it = tasks_.find(task);
+  FEM2_CHECK_MSG(it != tasks_.end(),
+                 "unknown task id " + std::to_string(task));
+  return it->second;
+}
+
+const Os::TaskRecord& Os::record(TaskId task) const {
+  const auto it = tasks_.find(task);
+  FEM2_CHECK_MSG(it != tasks_.end(),
+                 "unknown task id " + std::to_string(task));
+  return it->second;
+}
+
+Os::ClusterState& Os::cluster_state(hw::ClusterId cluster) {
+  FEM2_CHECK(cluster.valid() && cluster.index < clusters_.size());
+  return clusters_[cluster.index];
+}
+
+hw::ClusterId Os::choose_cluster(hw::ClusterId source) {
+  // The chosen cluster's load is reserved immediately (not when the
+  // initiate message travels), so a burst of initiations within one task
+  // step spreads instead of piling onto the momentarily-least-loaded
+  // cluster.
+  switch (options_.placement) {
+    case Placement::Local:
+      cluster_state(source).live_load += 1;
+      return source;
+    case Placement::RoundRobin: {
+      const auto idx = round_robin_++ % clusters_.size();
+      clusters_[idx].live_load += 1;
+      return hw::ClusterId{static_cast<std::uint32_t>(idx)};
+    }
+    case Placement::LeastLoaded: {
+      std::size_t best = 0;
+      std::size_t best_load = ~std::size_t{0};
+      for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        const hw::ClusterId c{static_cast<std::uint32_t>(i)};
+        if (machine_.alive_pes(c) == 0) continue;  // isolate failed clusters
+        if (clusters_[i].live_load < best_load) {
+          best_load = clusters_[i].live_load;
+          best = i;
+        }
+      }
+      clusters_[best].live_load += 1;
+      return hw::ClusterId{static_cast<std::uint32_t>(best)};
+    }
+  }
+  FEM2_UNREACHABLE("bad Placement");
+}
+
+void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
+  // Code distribution: an initiate to a cluster that has not loaded the
+  // task type is preceded by a load-code message (FIFO channel order
+  // guarantees it arrives first).
+  if (options_.code_loading) {
+    if (const auto* init = std::get_if<MsgInitiate>(&message)) {
+      auto& target = cluster_state(to);
+      if (!target.loaded_code.contains(init->task_type)) {
+        target.loaded_code.insert(init->task_type);
+        const auto it = code_.find(init->task_type);
+        MsgLoadCode lc;
+        lc.task_type = init->task_type;
+        lc.code_bytes = it != code_.end() ? it->second.code_bytes : 4096;
+        send(from, to, Message{std::move(lc)});
+      }
+    }
+  }
+
+  const auto type_idx = static_cast<std::size_t>(message_type(message));
+  const std::size_t bytes = message_bytes(message);
+  metrics_.messages_sent[type_idx] += 1;
+  metrics_.message_bytes_sent[type_idx] += bytes;
+  machine_.send_packet(from, to, bytes, std::any(std::move(message)));
+}
+
+void Os::service(hw::ClusterId cluster) {
+  assign_workers(cluster);
+  auto& state = cluster_state(cluster);
+  if (state.dispatching) return;
+  if (machine_.queue_depth(cluster) == 0) return;
+  const hw::PeId kernel = machine_.kernel_pe(cluster);
+  if (!kernel.valid()) return;  // whole cluster failed: messages stall
+  if (!machine_.try_acquire_pe(kernel)) return;
+  state.dispatching = true;
+  metrics_.kernel_dispatches += 1;
+  machine_.occupy(kernel, machine_.config().kernel_dispatch,
+                  [this, cluster, kernel] {
+                    // Decode while the kernel PE is still held so a nested
+                    // service() cannot double-field the same packet.
+                    dispatch_one(cluster);
+                    cluster_state(cluster).dispatching = false;
+                    machine_.release_worker(kernel);
+                    service(cluster);
+                  });
+}
+
+void Os::dispatch_one(hw::ClusterId cluster) {
+  auto packet = machine_.pop_packet(cluster);
+  if (!packet) return;  // queue drained by someone else
+  decode(cluster, std::move(*packet));
+}
+
+void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
+  Message message = std::any_cast<Message>(std::move(packet.payload));
+  const hw::ClusterId from = packet.source;
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MsgRemoteCall>) {
+          handle(cluster, std::move(m), from);
+        } else {
+          handle(cluster, std::move(m));
+        }
+      },
+      std::move(message));
+}
+
+void Os::push_ready(hw::ClusterId cluster, ReadyItem item, bool front) {
+  auto& state = cluster_state(cluster);
+  if (front) {
+    state.ready.push_front(std::move(item));
+  } else {
+    state.ready.push_back(std::move(item));
+  }
+  metrics_.ready_queue_peak =
+      std::max<std::uint64_t>(metrics_.ready_queue_peak, state.ready.size());
+  assign_workers(cluster);
+}
+
+void Os::assign_workers(hw::ClusterId cluster) {
+  auto& state = cluster_state(cluster);
+  while (!state.ready.empty()) {
+    const hw::PeId pe = machine_.acquire_worker(cluster);
+    if (!pe.valid()) return;
+    ReadyItem item = std::move(state.ready.front());
+    state.ready.pop_front();
+    start_work(pe, std::move(item));
+  }
+}
+
+namespace {
+std::uint64_t pe_key(const hw::MachineConfig& config, hw::PeId pe) {
+  return static_cast<std::uint64_t>(pe.cluster.index) *
+             config.pes_per_cluster +
+         pe.index;
+}
+}  // namespace
+
+void Os::start_work(hw::PeId pe, ReadyItem item) {
+  const auto& config = machine_.config();
+
+  if (auto* proc_work = std::get_if<ProcWork>(&item)) {
+    if (!proc_work->executed) {
+      const auto it = procedures_.find(proc_work->call.procedure);
+      FEM2_CHECK_MSG(it != procedures_.end(),
+                     "remote call to unknown procedure: " +
+                         proc_work->call.procedure);
+      ProcedureContext ctx{*this, pe.cluster};
+      proc_work->result = it->second.fn(ctx, proc_work->call.args);
+      proc_work->cycles = std::max<hw::Cycles>(1, ctx.charged);
+      proc_work->executed = true;
+      metrics_.procedures_executed += 1;
+    } else {
+      metrics_.steps_redone += 1;
+    }
+    const hw::Cycles duration =
+        proc_work->cycles + config.message_sw_overhead;  // format the return
+    const MsgRemoteCall call = proc_work->call;
+    const hw::ClusterId reply_to = proc_work->from;
+    Payload result = proc_work->result;
+    running_[pe_key(config, pe)] = std::move(item);
+    machine_.occupy(pe, duration,
+                    [this, pe, call, reply_to, result = std::move(result)] {
+                      running_.erase(pe_key(machine_.config(), pe));
+                      MsgRemoteReturn ret;
+                      ret.caller = call.caller;
+                      ret.token = call.token;
+                      ret.result = result;
+                      send(pe.cluster, reply_to, Message{std::move(ret)});
+                      machine_.release_worker(pe);
+                    });
+    return;
+  }
+
+  const TaskId task = std::get<TaskId>(item);
+  auto& rec = record(task);
+  FEM2_CHECK_MSG(rec.state == TaskState::Ready,
+                 "starting work on a task that is not ready");
+  rec.state = TaskState::Running;
+
+  if (!rec.step_pending) {
+    rec.api->begin_step();
+    Payload wake = std::move(rec.wake_value);
+    rec.wake_value = Payload{};
+    rec.step = rec.program->resume(std::move(wake));
+    rec.step_sends = std::move(rec.api->outgoing_);
+    rec.api->outgoing_.clear();
+    rec.step.cycles = std::max<hw::Cycles>(
+        1, rec.api->charged_ +
+               rec.step_sends.size() * config.message_sw_overhead);
+    rec.step_pending = true;
+    metrics_.steps_executed += 1;
+  } else {
+    metrics_.steps_redone += 1;
+  }
+
+  running_[pe_key(config, pe)] = task;
+  machine_.occupy(pe, rec.step.cycles, [this, pe, task] {
+    running_.erase(pe_key(machine_.config(), pe));
+    complete_task_step(pe, task);
+    machine_.release_worker(pe);
+  });
+}
+
+void Os::complete_task_step(hw::PeId pe, TaskId task) {
+  auto& rec = record(task);
+  rec.step_pending = false;
+
+  // Apply buffered sends.
+  for (auto& [dst, msg] : rec.step_sends)
+    send(rec.cluster, dst, std::move(msg));
+  rec.step_sends.clear();
+
+  switch (rec.step.outcome) {
+    case StepResult::Outcome::Finished:
+      finish_task(rec);
+      break;
+    case StepResult::Outcome::Yielded:
+      rec.state = TaskState::Ready;
+      push_ready(rec.cluster, rec.id);
+      break;
+    case StepResult::Outcome::Blocked:
+      apply_block_intent(rec);
+      break;
+  }
+  (void)pe;
+}
+
+void Os::finish_task(TaskRecord& rec) {
+  rec.state = TaskState::Finished;
+  rec.result = rec.program->take_result();
+  metrics_.tasks_finished += 1;
+  cluster_state(rec.cluster).live_load -= 1;
+
+  // Release the activation record and any task-owned heap blocks
+  // ("data lifetime - lifetime of owner task").
+  Heap& h = heap(rec.cluster);
+  for (const std::size_t addr : rec.owned_heap_blocks) {
+    machine_.release(rec.cluster, h.block_size(addr));
+    h.free(addr);
+  }
+  rec.owned_heap_blocks.clear();
+  if (rec.ar_address != Heap::kNullAddress) {
+    machine_.release(rec.cluster, h.block_size(rec.ar_address));
+    h.free(rec.ar_address);
+    rec.ar_address = Heap::kNullAddress;
+  }
+  rec.program.reset();
+
+  if (rec.parent != kNoTask) {
+    MsgTerminateNotify m;
+    m.child = rec.id;
+    m.parent = rec.parent;
+    m.result = rec.result;
+    send(rec.cluster, task_cluster(rec.parent), Message{std::move(m)});
+  }
+}
+
+void Os::apply_block_intent(TaskRecord& rec) {
+  using Kind = TaskApi::WaitIntent::Kind;
+  const auto intent = rec.api->intent_;
+  rec.api->intent_ = TaskApi::WaitIntent{};
+
+  switch (intent.kind) {
+    case Kind::None:
+      FEM2_UNREACHABLE("task blocked without a wait intent");
+    case Kind::Reply: {
+      const auto it = rec.replies.find(intent.token);
+      if (it != rec.replies.end()) {
+        Payload value = std::move(it->second);
+        rec.replies.erase(it);
+        make_ready(rec, std::move(value));
+        return;
+      }
+      rec.state = TaskState::Blocked;
+      rec.wait = intent;
+      return;
+    }
+    case Kind::ChildTerminations: {
+      if (rec.unconsumed_child_terms >= intent.count) {
+        rec.unconsumed_child_terms -= intent.count;
+        make_ready(rec, Payload{});
+        return;
+      }
+      rec.state = TaskState::Blocked;
+      rec.wait = intent;  // satisfied when unconsumed reaches count
+      return;
+    }
+    case Kind::ChildPauses: {
+      if (rec.unconsumed_child_pauses >= intent.count) {
+        rec.unconsumed_child_pauses -= intent.count;
+        make_ready(rec, Payload{});
+        return;
+      }
+      rec.state = TaskState::Blocked;
+      rec.wait = intent;
+      return;
+    }
+    case Kind::Pause: {
+      if (!rec.pending_resumes.empty()) {
+        Payload datum = std::move(rec.pending_resumes.front());
+        rec.pending_resumes.pop_front();
+        make_ready(rec, std::move(datum));
+        return;
+      }
+      rec.state = TaskState::Paused;
+      rec.wait = intent;
+      return;
+    }
+  }
+  FEM2_UNREACHABLE("bad wait intent");
+}
+
+void Os::make_ready(TaskRecord& rec, Payload wake) {
+  rec.state = TaskState::Ready;
+  rec.wait = TaskApi::WaitIntent{};
+  rec.wake_value = std::move(wake);
+  push_ready(rec.cluster, rec.id);
+}
+
+void Os::on_work_lost(hw::ClusterId cluster) {
+  // Requeue every work item whose PE is no longer alive, at the front so
+  // recovery happens promptly.
+  std::vector<std::uint64_t> dead;
+  const auto& config = machine_.config();
+  for (const auto& [key, item] : running_) {
+    const hw::PeId pe{
+        hw::ClusterId{static_cast<std::uint32_t>(key / config.pes_per_cluster)},
+        static_cast<std::uint32_t>(key % config.pes_per_cluster)};
+    if (pe.cluster == cluster && !machine_.pe_alive(pe)) dead.push_back(key);
+  }
+  for (const auto key : dead) {
+    ReadyItem item = std::move(running_.at(key));
+    running_.erase(key);
+    if (const auto* task = std::get_if<TaskId>(&item)) {
+      record(*task).state = TaskState::Ready;
+    }
+    push_ready(cluster, std::move(item), /*front=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers (run at kernel decode time)
+
+void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
+  const auto it = code_.find(m.task_type);
+  FEM2_CHECK_MSG(it != code_.end(),
+                 "initiate of unknown task type: " + m.task_type);
+  const CodeBlock& block = it->second;
+
+  // "an initiate task message may require the following steps: find code
+  // for task, allocate an activation record, copy parameters from the
+  // message queue into activation record, enter task in ready queue".
+  TaskRecord rec;
+  rec.id = m.task;
+  rec.type = m.task_type;
+  rec.parent = m.parent;
+  rec.cluster = cluster;
+  rec.replication_index = m.replication_index;
+  rec.replication_count = m.replication_count;
+
+  Heap& h = heap(cluster);
+  const std::size_t ar_bytes =
+      block.activation_record_bytes + m.params.bytes;
+  const std::size_t address = h.allocate(std::max<std::size_t>(ar_bytes, 8));
+  if (address == Heap::kNullAddress) {
+    throw hw::OutOfMemory("activation record allocation failed in cluster " +
+                          std::to_string(cluster.index));
+  }
+  machine_.allocate(cluster, h.block_size(address));
+  rec.ar_address = address;
+  rec.ar_bytes = ar_bytes;
+
+  rec.api = std::make_unique<TaskApi>(*this, rec.id);
+  rec.program = block.factory(*rec.api, std::move(m.params));
+  FEM2_CHECK_MSG(rec.program != nullptr, "task factory returned null");
+  rec.state = TaskState::Ready;
+
+  const TaskId id = rec.id;
+  tasks_.emplace(id, std::move(rec));
+  metrics_.tasks_initiated += 1;
+  push_ready(cluster, id);
+}
+
+void Os::handle(hw::ClusterId cluster, MsgPauseNotify&& m) {
+  (void)cluster;
+  auto& parent = record(m.parent);
+  parent.paused_children.push_back(m.child);
+  parent.unconsumed_child_pauses += 1;
+  if (parent.state == TaskState::Blocked &&
+      parent.wait.kind == TaskApi::WaitIntent::Kind::ChildPauses &&
+      parent.unconsumed_child_pauses >= parent.wait.count) {
+    parent.unconsumed_child_pauses -= parent.wait.count;
+    make_ready(parent, Payload{});
+  }
+}
+
+void Os::handle(hw::ClusterId cluster, MsgResumeChild&& m) {
+  (void)cluster;
+  auto& child = record(m.child);
+  if (child.state == TaskState::Paused) {
+    make_ready(child, std::move(m.datum));
+  } else {
+    // Resume raced ahead of the child's pause; deliver on next pause.
+    child.pending_resumes.push_back(std::move(m.datum));
+  }
+}
+
+void Os::handle(hw::ClusterId cluster, MsgTerminateNotify&& m) {
+  (void)cluster;
+  auto& parent = record(m.parent);
+  parent.child_results.push_back(std::move(m.result));
+  parent.unconsumed_child_terms += 1;
+  if (parent.state == TaskState::Blocked &&
+      parent.wait.kind == TaskApi::WaitIntent::Kind::ChildTerminations &&
+      parent.unconsumed_child_terms >= parent.wait.count) {
+    parent.unconsumed_child_terms -= parent.wait.count;
+    make_ready(parent, Payload{});
+  }
+}
+
+void Os::handle(hw::ClusterId cluster, MsgRemoteCall&& m, hw::ClusterId from) {
+  ProcWork work;
+  work.call = std::move(m);
+  work.from = from;
+  push_ready(cluster, std::move(work));
+}
+
+void Os::handle(hw::ClusterId cluster, MsgRemoteReturn&& m) {
+  (void)cluster;
+  auto& caller = record(m.caller);
+  if (caller.state == TaskState::Blocked &&
+      caller.wait.kind == TaskApi::WaitIntent::Kind::Reply &&
+      caller.wait.token == m.token) {
+    make_ready(caller, std::move(m.result));
+  } else {
+    caller.replies.emplace(m.token, std::move(m.result));
+  }
+}
+
+void Os::handle(hw::ClusterId cluster, MsgLoadCode&& m) {
+  cluster_state(cluster).loaded_code.insert(m.task_type);
+}
+
+}  // namespace fem2::sysvm

@@ -1,0 +1,361 @@
+// The FEM-2 operating system layer (system programmer's virtual machine).
+//
+// Implements the paper's runtime design on the hardware simulator:
+//  * a code registry ("code blocks/constants blocks") with optional
+//    load-code distribution to clusters,
+//  * task activation records allocated from the per-cluster variable-size
+//    block heap,
+//  * the seven-message protocol (message.hpp),
+//  * per-cluster kernel scheduling: "one PE runs the operating system
+//    kernel, which fields incoming messages and assigns available PE's to
+//    process them.  Messages arriving in the input queue of any cluster can
+//    be processed by any available PE",
+//  * fault recovery: work running on a PE that fails is re-executed on
+//    another PE (the step's effects are buffered and atomic).
+//
+// Task bodies are supplied by the layer above (the numerical analyst's VM,
+// src/navm) as TaskProgram implementations; the OS is execution-model
+// agnostic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sysvm/heap.hpp"
+#include "sysvm/message.hpp"
+
+namespace fem2::sysvm {
+
+class Os;
+
+/// Outcome of running one task step (from one resumption to the next
+/// suspension point).
+struct StepResult {
+  enum class Outcome { Finished, Blocked, Yielded };
+  Outcome outcome = Outcome::Finished;
+  hw::Cycles cycles = 1;  ///< compute charged to the executing PE
+};
+
+/// A task body.  resume() runs host code up to the next suspension point;
+/// all interaction with the system goes through the TaskApi handed to the
+/// factory, and message sends are buffered so a step is atomic even when
+/// the executing PE fails mid-step.
+class TaskProgram {
+ public:
+  virtual ~TaskProgram() = default;
+
+  /// `wake` carries the datum that unblocked the task (remote-return
+  /// result, resume-child datum) or is empty.
+  virtual StepResult resume(Payload wake) = 0;
+
+  /// Final result; called once after resume() returned Finished.
+  virtual Payload take_result() = 0;
+};
+
+/// Facade through which a TaskProgram interacts with the OS during a step.
+/// Sends are buffered and applied when the step's simulated time elapses;
+/// blocking intents take effect when the step ends with Outcome::Blocked.
+class TaskApi {
+ public:
+  TaskApi(Os& os, TaskId self);
+
+  TaskId self() const { return self_; }
+  hw::ClusterId cluster() const;
+  std::uint32_t replication_index() const;
+  std::uint32_t replication_count() const;
+
+  /// Accumulate compute cost for the current step.
+  void charge(hw::Cycles cycles) { charged_ += cycles; }
+  void charge_flops(std::uint64_t flops);
+  void charge_words(std::uint64_t words);
+
+  // --- message-sending operations (buffered) -----------------------------
+  /// "initiate K replications of a task of type T".  Task ids are assigned
+  /// immediately; the initiate messages travel when the step completes.
+  /// `params_for(i)` builds the parameter payload of replication i.
+  std::vector<TaskId> initiate(const std::string& task_type, std::uint32_t k,
+                               const std::function<Payload(std::uint32_t)>&
+                                   params_for);
+
+  /// Remote procedure call to a specific cluster (the caller determined the
+  /// location from the window the call operates on).  Pair with
+  /// block_on_reply(token) to wait for the result.
+  CallToken remote_call(hw::ClusterId destination, std::string procedure,
+                        Payload args);
+
+  /// "resume a child task", optionally carrying a datum; broadcasting to a
+  /// set of paused children is a loop of these.
+  void resume_child(TaskId child, Payload datum);
+
+  // --- blocking intents ---------------------------------------------------
+  // The program must suspend (return Outcome::Blocked) right after setting
+  // exactly one intent per step.
+  void block_on_reply(CallToken token);
+  void block_on_child_terminations(std::size_t count);
+  void block_on_child_pauses(std::size_t count);
+  /// "pause and notify parent task"; the wake value of the next resume
+  /// carries the parent's datum.
+  void block_for_pause();
+
+  // --- mailbox draining (non-blocking) -------------------------------------
+  /// Results of terminated children, in arrival order; drains the box.
+  std::vector<Payload> take_child_results();
+  /// Children that have paused so far; drains the box.
+  std::vector<TaskId> take_paused_children();
+
+  // --- heap ----------------------------------------------------------------
+  /// Allocate task-owned storage from this cluster's heap ("dynamic
+  /// creation of data objects by a task").  Freed automatically when the
+  /// task terminates unless freed earlier.
+  std::size_t heap_allocate(std::size_t bytes);
+  void heap_free(std::size_t address);
+
+  Os& os() { return os_; }
+
+ private:
+  friend class Os;
+
+  struct WaitIntent {
+    enum class Kind { None, Reply, ChildTerminations, ChildPauses, Pause };
+    Kind kind = Kind::None;
+    CallToken token = 0;
+    std::size_t count = 0;
+  };
+
+  void begin_step();
+
+  Os& os_;
+  TaskId self_;
+  hw::Cycles charged_ = 0;
+  std::vector<std::pair<hw::ClusterId, Message>> outgoing_;
+  WaitIntent intent_;
+};
+
+/// Registered code for a task type.
+struct CodeBlock {
+  std::string name;
+  std::size_t code_bytes = 4096;  ///< shipped by load-code messages
+  std::size_t activation_record_bytes = 256;
+  std::function<std::unique_ptr<TaskProgram>(TaskApi&, Payload params)>
+      factory;
+};
+
+/// Context available to a remote procedure while it executes.
+struct ProcedureContext {
+  Os& os;
+  hw::ClusterId cluster;  ///< where the procedure runs
+  hw::Cycles charged = 0;
+
+  void charge(hw::Cycles cycles) { charged += cycles; }
+  void charge_flops(std::uint64_t flops);
+  void charge_words(std::uint64_t words);
+};
+
+/// Registered remote procedure: executes in a single step on any available
+/// PE of the target cluster.
+struct Procedure {
+  std::string name;
+  std::size_t activation_record_bytes = 128;
+  std::function<Payload(ProcedureContext&, const Payload& args)> fn;
+};
+
+enum class TaskState { Ready, Running, Blocked, Paused, Finished };
+std::string_view task_state_name(TaskState s);
+
+enum class Placement { RoundRobin, LeastLoaded, Local };
+
+struct OsOptions {
+  Placement placement = Placement::LeastLoaded;
+  /// Model load-code messages to clusters that have not seen a task type.
+  bool code_loading = true;
+  HeapPolicy heap_policy = HeapPolicy::FirstFit;
+};
+
+struct OsMetrics {
+  std::array<std::uint64_t, kMessageTypeCount> messages_sent{};
+  std::array<std::uint64_t, kMessageTypeCount> message_bytes_sent{};
+  std::uint64_t tasks_initiated = 0;
+  std::uint64_t tasks_finished = 0;
+  std::uint64_t procedures_executed = 0;
+  std::uint64_t kernel_dispatches = 0;
+  std::uint64_t steps_executed = 0;
+  std::uint64_t steps_redone = 0;  ///< re-executions after PE failures
+  std::uint64_t ready_queue_peak = 0;
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_message_bytes() const;
+};
+
+class Os {
+ public:
+  explicit Os(hw::Machine& machine, OsOptions options = {});
+
+  Os(const Os&) = delete;
+  Os& operator=(const Os&) = delete;
+
+  // --- configuration -------------------------------------------------------
+  void register_task_type(CodeBlock block);
+  void register_procedure(Procedure procedure);
+  bool has_task_type(std::string_view name) const;
+
+  // --- boot / run -----------------------------------------------------------
+  /// Inject a root task from the external environment.  The initiate
+  /// message is charged as if sent from cluster `from`.
+  TaskId launch(const std::string& task_type, Payload params,
+                hw::ClusterId from = hw::ClusterId{0});
+
+  /// Drive the machine until no events remain.
+  void run();
+  hw::Cycles now() const { return machine_.now(); }
+
+  // --- introspection --------------------------------------------------------
+  TaskState task_state(TaskId task) const;
+  bool task_finished(TaskId task) const;
+  /// Result of a finished task (kept until the record is observed).
+  const Payload& task_result(TaskId task) const;
+  hw::ClusterId task_cluster(TaskId task) const;
+  std::size_t live_tasks() const;
+
+  /// All task ids ever created (records persist for post-run inspection).
+  std::vector<TaskId> task_ids() const;
+
+  struct TaskInfo {
+    TaskId id = kNoTask;
+    std::string type;
+    TaskId parent = kNoTask;
+    hw::ClusterId cluster;
+    TaskState state = TaskState::Ready;
+    std::uint32_t replication_index = 0;
+    std::uint32_t replication_count = 1;
+  };
+  TaskInfo task_info(TaskId task) const;
+
+  /// Current ready-queue depth of a cluster.
+  std::size_t ready_depth(hw::ClusterId cluster) const;
+
+  Heap& heap(hw::ClusterId cluster);
+  const OsMetrics& metrics() const { return metrics_; }
+
+  // --- extension points for higher layers (navm) ---------------------------
+  /// Reserve a call token (e.g. for synthetic wake-ups built on the
+  /// remote-return path).
+  CallToken allocate_call_token() { return next_call_token_++; }
+  /// Inject a message into the machine as if sent from `from`.
+  void post(hw::ClusterId from, hw::ClusterId to, Message message) {
+    send(from, to, std::move(message));
+  }
+  hw::Machine& machine() { return machine_; }
+  const hw::MachineConfig& config() const { return machine_.config(); }
+
+ private:
+  friend class TaskApi;
+
+  struct ProcWork {
+    MsgRemoteCall call;
+    hw::ClusterId from;  ///< caller's cluster (reply destination)
+    // Redo support: once executed, the outcome is cached so a PE failure
+    // replays the time cost without re-running host code.
+    bool executed = false;
+    hw::Cycles cycles = 0;
+    Payload result;
+  };
+  using ReadyItem = std::variant<TaskId, ProcWork>;
+
+  struct TaskRecord {
+    TaskId id = kNoTask;
+    std::string type;
+    TaskId parent = kNoTask;
+    hw::ClusterId cluster;
+    std::uint32_t replication_index = 0;
+    std::uint32_t replication_count = 1;
+    TaskState state = TaskState::Ready;
+
+    std::unique_ptr<TaskApi> api;
+    std::unique_ptr<TaskProgram> program;
+    std::size_t ar_address = Heap::kNullAddress;
+    std::size_t ar_bytes = 0;
+    std::vector<std::size_t> owned_heap_blocks;
+
+    // Wake/wait machinery.
+    TaskApi::WaitIntent wait;
+    Payload wake_value;
+    std::map<CallToken, Payload> replies;     ///< early remote-returns
+    std::vector<Payload> child_results;
+    std::size_t unconsumed_child_terms = 0;
+    std::vector<TaskId> paused_children;
+    std::size_t unconsumed_child_pauses = 0;
+    std::deque<Payload> pending_resumes;      ///< resume before pause race
+
+    // Pending (buffered) step awaiting completion or redo.
+    bool step_pending = false;
+    StepResult step;
+    std::vector<std::pair<hw::ClusterId, Message>> step_sends;
+    Payload result;
+  };
+
+  struct ClusterState {
+    std::deque<ReadyItem> ready;
+    bool dispatching = false;
+    std::set<std::string> loaded_code;
+    std::size_t live_load = 0;  ///< tasks not yet finished (placement)
+  };
+
+  // --- plumbing -------------------------------------------------------------
+  using Packet_t = hw::Packet;
+
+  TaskId next_task_id_ = 1;
+  CallToken next_call_token_ = 1;
+
+  hw::ClusterId choose_cluster(hw::ClusterId source);
+  void send(hw::ClusterId from, hw::ClusterId to, Message message);
+  void service(hw::ClusterId cluster);
+  void dispatch_one(hw::ClusterId cluster);
+  void decode(hw::ClusterId cluster, Packet_t&& packet);
+  void assign_workers(hw::ClusterId cluster);
+  void start_work(hw::PeId pe, ReadyItem item);
+  void complete_task_step(hw::PeId pe, TaskId task);
+  void finish_task(TaskRecord& record);
+  void apply_block_intent(TaskRecord& record);
+  void make_ready(TaskRecord& record, Payload wake);
+  void push_ready(hw::ClusterId cluster, ReadyItem item, bool front = false);
+  void on_work_lost(hw::ClusterId cluster);
+
+  TaskRecord& record(TaskId task);
+  const TaskRecord& record(TaskId task) const;
+  ClusterState& cluster_state(hw::ClusterId cluster);
+
+  // Handlers per message type.
+  void handle(hw::ClusterId cluster, MsgInitiate&& m);
+  void handle(hw::ClusterId cluster, MsgPauseNotify&& m);
+  void handle(hw::ClusterId cluster, MsgResumeChild&& m);
+  void handle(hw::ClusterId cluster, MsgTerminateNotify&& m);
+  void handle(hw::ClusterId cluster, MsgRemoteCall&& m, hw::ClusterId from);
+  void handle(hw::ClusterId cluster, MsgRemoteReturn&& m);
+  void handle(hw::ClusterId cluster, MsgLoadCode&& m);
+
+  hw::Machine& machine_;
+  OsOptions options_;
+  std::map<std::string, CodeBlock, std::less<>> code_;
+  std::map<std::string, Procedure, std::less<>> procedures_;
+  std::map<TaskId, TaskRecord> tasks_;
+  /// Placement decided at id-assignment time, so messages addressed to a
+  /// task (e.g. resume-child) can be routed before its initiate decodes.
+  std::map<TaskId, hw::ClusterId> task_homes_;
+  std::vector<ClusterState> clusters_;
+  std::vector<Heap> heaps_;
+  std::map<std::uint64_t, ReadyItem> running_;  ///< flat PE index -> work
+  std::size_t round_robin_ = 0;
+  OsMetrics metrics_;
+};
+
+}  // namespace fem2::sysvm

@@ -1,0 +1,261 @@
+// Application user's VM tests: serialization, database, workspace, and the
+// interactive command language.
+#include <gtest/gtest.h>
+
+#include "appvm/command.hpp"
+#include "appvm/database.hpp"
+#include "appvm/serialize.hpp"
+#include "fem/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace fem2::appvm {
+namespace {
+
+fem::StructureModel sample_model() {
+  fem::PlateMeshOptions options;
+  options.nx = 4;
+  options.ny = 2;
+  options.material.youngs_modulus = 1234.5;
+  options.material.name = "aluminium";
+  return fem::make_cantilever_plate(options, 17.0);
+}
+
+TEST(Serialize, RoundTripPreservesModel) {
+  const auto model = sample_model();
+  const auto text = serialize_model(model);
+  const auto parsed = parse_model(text);
+
+  EXPECT_EQ(parsed.name, model.name);
+  ASSERT_EQ(parsed.nodes.size(), model.nodes.size());
+  for (std::size_t i = 0; i < model.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.nodes[i].x, model.nodes[i].x);
+    EXPECT_DOUBLE_EQ(parsed.nodes[i].y, model.nodes[i].y);
+  }
+  ASSERT_EQ(parsed.elements.size(), model.elements.size());
+  for (std::size_t i = 0; i < model.elements.size(); ++i) {
+    EXPECT_EQ(parsed.elements[i].type, model.elements[i].type);
+    EXPECT_EQ(parsed.elements[i].nodes, model.elements[i].nodes);
+  }
+  EXPECT_EQ(parsed.constraints.size(), model.constraints.size());
+  ASSERT_EQ(parsed.load_sets.size(), model.load_sets.size());
+  EXPECT_DOUBLE_EQ(parsed.materials[0].youngs_modulus, 1234.5);
+  EXPECT_EQ(parsed.materials[0].name, "aluminium");
+  // Round-trip of the round-trip is exact.
+  EXPECT_EQ(serialize_model(parsed), text);
+}
+
+class SerializeRandomModels : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerializeRandomModels, RoundTripRandomTrusses) {
+  support::Rng rng(GetParam());
+  fem::TrussOptions options;
+  options.bays = 2 + rng.next_below(8);
+  options.bay_width = rng.uniform(0.5, 2.0);
+  options.height = rng.uniform(0.5, 2.0);
+  const auto model =
+      fem::make_truss_bridge(options, rng.uniform(1.0, 100.0));
+  const auto parsed = parse_model(serialize_model(model));
+  EXPECT_EQ(serialize_model(parsed), serialize_model(model));
+  parsed.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandomModels,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Serialize, RejectsMalformedText) {
+  EXPECT_THROW(parse_model("node 1 2"), SerializeError);  // no model record
+  EXPECT_THROW(parse_model("model m\nnode 1"), SerializeError);
+  EXPECT_THROW(parse_model("model m\nnode a b"), SerializeError);
+  EXPECT_THROW(parse_model("model m\nelement bar2 0"), SerializeError);
+  EXPECT_THROW(parse_model("model m\nwhatever 1"), SerializeError);
+  EXPECT_THROW(parse_model("model m\nmaterial s X=3"), SerializeError);
+}
+
+TEST(Database, StoreRetrieveListRemove) {
+  Database db;
+  EXPECT_FALSE(db.contains("m"));
+  db.store_model("m", sample_model());
+  EXPECT_TRUE(db.contains("m"));
+  const auto model = db.retrieve_model("m");
+  EXPECT_EQ(model.name, "cantilever-plate");
+
+  db.store_model("m", model);  // revision bump
+  const auto entries = db.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].revision, 2u);
+  EXPECT_GT(db.storage_bytes(), 0u);
+
+  EXPECT_TRUE(db.remove("m"));
+  EXPECT_FALSE(db.remove("m"));
+  EXPECT_THROW(db.retrieve_model("m"), support::Error);
+}
+
+TEST(Database, ResultsStorage) {
+  Database db;
+  const auto model = sample_model();
+  const auto results = fem::analyze(model, "tip-shear");
+  db.store_results("r", results);
+  const auto& loaded = db.retrieve_results("r");
+  EXPECT_EQ(loaded.stresses.size(), results.stresses.size());
+  EXPECT_EQ(db.list().size(), 1u);
+  EXPECT_EQ(db.list()[0].kind, "results");
+}
+
+TEST(Session, BuildModelCommandByCommand) {
+  Database db;
+  Session session(db);
+  for (const char* line : {
+           "new model bar-test",
+           "material steel E=1000 A=0.01",
+           "node 0 0",
+           "node 1.5 0",
+           "element bar 0 1",
+           "fix 0",
+           "constrain 1 1",
+           "load pull 1 0 50",
+           "solve pull using cholesky",
+       }) {
+    const auto response = session.execute(line);
+    EXPECT_TRUE(response.ok) << line << " -> " << response.text;
+  }
+  const auto& u = session.workspace().results().solution.displacements;
+  EXPECT_NEAR(u.at(1, 0), 50.0 * 1.5 / (1000.0 * 0.01), 1e-9);
+
+  const auto show = session.execute("show displacements 1");
+  EXPECT_TRUE(show.ok);
+  EXPECT_NE(show.text.find("node 1"), std::string::npos);
+}
+
+TEST(Session, MeshSolveStressWorkflow) {
+  Database db;
+  Session session(db);
+  auto r = session.execute("mesh plate nx=6 ny=3 load=10");
+  ASSERT_TRUE(r.ok) << r.text;
+  r = session.execute("solve tip-shear using cg tol=1e-10");
+  ASSERT_TRUE(r.ok) << r.text;
+  r = session.execute("stresses");
+  ASSERT_TRUE(r.ok) << r.text;
+  EXPECT_NE(r.text.find("peak von Mises"), std::string::npos);
+  r = session.execute("show peak");
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(Session, ModesCommandReportsFrequencies) {
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.execute("mesh beam segments=10 length=1 load=5").ok);
+  const auto r = session.execute("modes 2");
+  ASSERT_TRUE(r.ok) << r.text;
+  EXPECT_NE(r.text.find("f1="), std::string::npos);
+  EXPECT_NE(r.text.find("f2="), std::string::npos);
+  EXPECT_NE(r.text.find("Hz"), std::string::npos);
+  EXPECT_FALSE(session.execute("modes 0").ok);
+  EXPECT_FALSE(session.execute("modes two").ok);
+}
+
+TEST(Serialize, DensityRoundTrips) {
+  fem::StructureModel model;
+  fem::Material m;
+  m.name = "titanium";
+  m.density = 4500.0;
+  model.add_material(m);
+  model.add_node(0, 0);
+  model.add_node(1, 0);
+  model.add_element(fem::ElementType::Bar2, {0, 1});
+  const auto parsed = parse_model(serialize_model(model));
+  EXPECT_DOUBLE_EQ(parsed.materials[0].density, 4500.0);
+}
+
+TEST(Session, ErrorsAreResponsesNotExceptions) {
+  Database db;
+  Session session(db);
+  EXPECT_FALSE(session.execute("bogus command").ok);
+  EXPECT_FALSE(session.execute("node 1 2").ok);  // no model yet
+  EXPECT_FALSE(session.execute("solve nothing").ok);
+  EXPECT_FALSE(session.execute("retrieve ghost").ok);
+  EXPECT_FALSE(session.execute("mesh cube").ok);
+  EXPECT_FALSE(session.execute("show").ok);
+  session.execute("new model m");
+  EXPECT_FALSE(session.execute("node one two").ok);
+  EXPECT_FALSE(session.execute("element bar 0").ok);
+  EXPECT_FALSE(session.execute("stresses").ok);  // nothing solved
+}
+
+TEST(Session, CommentsAndBlanksIgnored) {
+  Database db;
+  Session session(db);
+  EXPECT_TRUE(session.execute("").ok);
+  EXPECT_TRUE(session.execute("   ").ok);
+  EXPECT_TRUE(session.execute("# a comment").ok);
+}
+
+TEST(Session, ScriptStopsOnFirstError) {
+  Database db;
+  Session session(db);
+  const auto responses = session.execute_script(
+      "new model m\nbroken line here\nnode 0 0");
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+}
+
+TEST(Session, MultiUserSharedDatabase) {
+  Database db;
+  Session alice(db, "alice");
+  Session bob(db, "bob");
+  ASSERT_TRUE(alice.execute("mesh truss bays=4 load=100").ok);
+  ASSERT_TRUE(alice.execute("store bridge").ok);
+  // Bob retrieves Alice's model and works on his own copy.
+  ASSERT_TRUE(bob.execute("retrieve bridge").ok);
+  ASSERT_TRUE(bob.execute("solve deck using skyline").ok);
+  // Bob's local edits do not touch the stored copy until he stores.
+  ASSERT_TRUE(bob.execute("load deck 1 0 5").ok);
+  const auto alice_copy = db.retrieve_model("bridge");
+  const auto& bob_model = bob.workspace().model();
+  EXPECT_NE(alice_copy.load_sets.at("deck").loads.size(),
+            bob_model.load_sets.at("deck").loads.size());
+  EXPECT_EQ(alice.user(), "alice");
+  EXPECT_EQ(bob.user(), "bob");
+}
+
+TEST(Session, SaveAndOpenModelFiles) {
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.execute("mesh truss bays=3 load=50").ok);
+  const std::string path =
+      ::testing::TempDir() + "/fem2_session_model.txt";
+  ASSERT_TRUE(session.execute("save " + path).ok);
+
+  Session other(db);
+  const auto opened = other.execute("open " + path);
+  ASSERT_TRUE(opened.ok) << opened.text;
+  EXPECT_EQ(other.workspace().model().name, "truss-bridge");
+  EXPECT_EQ(other.workspace().model().elements.size(),
+            session.workspace().model().elements.size());
+
+  EXPECT_FALSE(other.execute("open /nonexistent/nowhere.txt").ok);
+  EXPECT_FALSE(other.execute("save /nonexistent/dir/file.txt").ok);
+}
+
+TEST(Session, HelpListsCommands) {
+  const auto help = Session::help_text();
+  for (const char* command :
+       {"new model", "mesh", "solve", "stresses", "store", "retrieve"}) {
+    EXPECT_NE(help.find(command), std::string::npos) << command;
+  }
+}
+
+TEST(Workspace, StorageAccounting) {
+  Database db;
+  Session session(db);
+  EXPECT_EQ(session.workspace().storage_bytes(), 0u);
+  session.execute("mesh plate nx=8 ny=4 load=1");
+  const auto with_model = session.workspace().storage_bytes();
+  EXPECT_GT(with_model, 0u);
+  session.execute("solve tip-shear");
+  EXPECT_GT(session.workspace().storage_bytes(), with_model);
+}
+
+}  // namespace
+}  // namespace fem2::appvm

@@ -1,0 +1,286 @@
+// Structural dynamics tests: eigen solver properties, analytic natural
+// frequencies, Newmark time integration physics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fem/dynamics.hpp"
+#include "fem/mesh.hpp"
+#include "fem/solver.hpp"
+#include "la/eigen.hpp"
+
+namespace fem2::fem {
+namespace {
+
+Material aluminium() {
+  Material m;
+  m.youngs_modulus = 70e9;
+  m.poisson_ratio = 0.33;
+  m.density = 2700.0;
+  m.area = 4e-4;
+  m.moment_of_inertia = 1.333e-8;  // 2cm x 2cm square section
+  m.thickness = 0.004;
+  return m;
+}
+
+TEST(Eigen, SmallGeneralizedProblemExact) {
+  // K = diag(2, 8), M = diag(1, 2) -> eigenvalues 2 and 4.
+  la::TripletBuilder kb(2, 2), mb(2, 2);
+  kb.add(0, 0, 2.0);
+  kb.add(1, 1, 8.0);
+  mb.add(0, 0, 1.0);
+  mb.add(1, 1, 2.0);
+  const auto result = la::lowest_eigenpairs(kb.build(), mb.build(),
+                                            {.modes = 2});
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.pairs.size(), 2u);
+  EXPECT_NEAR(result.pairs[0].value, 2.0, 1e-9);
+  EXPECT_NEAR(result.pairs[1].value, 4.0, 1e-9);
+}
+
+TEST(Eigen, PairsAreMOrthonormalAndSatisfyResidual) {
+  // 1-D Laplacian K, identity-ish M.
+  const std::size_t n = 20;
+  la::TripletBuilder kb(n, n), mb(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kb.add(i, i, 2.0);
+    if (i > 0) kb.add(i, i - 1, -1.0);
+    if (i + 1 < n) kb.add(i, i + 1, -1.0);
+    mb.add(i, i, 1.5);
+  }
+  const auto k = kb.build();
+  const auto m = mb.build();
+  const auto result = la::lowest_eigenpairs(k, m, {.modes = 4});
+  ASSERT_TRUE(result.converged);
+
+  for (std::size_t i = 0; i < result.pairs.size(); ++i) {
+    const auto& phi = result.pairs[i].vector;
+    const double lambda = result.pairs[i].value;
+    // Residual ||K phi - lambda M phi|| small.
+    auto r = k.multiply(phi);
+    la::axpy(-lambda, m.multiply(phi), r);
+    EXPECT_LT(la::norm2(r), 1e-6) << "mode " << i;
+    // M-orthonormal.
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double mij =
+          la::dot(result.pairs[i].vector, m.multiply(result.pairs[j].vector));
+      EXPECT_NEAR(mij, i == j ? 1.0 : 0.0, 1e-7);
+    }
+    // Rayleigh quotient agrees.
+    EXPECT_NEAR(la::rayleigh_quotient(k, m, phi), lambda,
+                std::abs(lambda) * 1e-8);
+  }
+  // Known analytic eigenvalues of the Dirichlet Laplacian / 1.5.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double exact =
+        4.0 *
+        std::pow(std::sin(std::numbers::pi * static_cast<double>(i + 1) /
+                          (2.0 * (static_cast<double>(n) + 1.0))),
+                 2) /
+        1.5;
+    EXPECT_NEAR(result.pairs[i].value, exact, exact * 1e-6);
+  }
+}
+
+TEST(Dynamics, TotalMassMatchesGeometry) {
+  const auto material = aluminium();
+  FrameOptions options;
+  options.segments = 10;
+  options.length = 2.0;
+  options.material = material;
+  const auto beam = make_cantilever_beam(options, 1.0);
+  EXPECT_NEAR(total_mass(beam), material.density * material.area * 2.0,
+              1e-9);
+
+  PlateMeshOptions plate;
+  plate.nx = 8;
+  plate.ny = 4;
+  plate.width = 2.0;
+  plate.height = 1.0;
+  plate.material = material;
+  const auto sheet = make_plate(plate);
+  EXPECT_NEAR(total_mass(sheet),
+              material.density * material.thickness * 2.0 * 1.0, 1e-9);
+}
+
+TEST(Dynamics, LumpedMassConservesTranslationalMass) {
+  const auto model = make_cantilever_beam(
+      {.segments = 6, .length = 3.0, .material = aluminium()}, 1.0);
+  // Unconstrained map so every dof appears.
+  StructureModel free_model = model;
+  free_model.constraints.clear();
+  free_model.add_constraint(0, 0);  // keep at least one constraint... no:
+  free_model.constraints.clear();
+  const DofMap map = build_dof_map(free_model);
+  const auto m = lumped_mass_matrix(free_model, map);
+  // Sum of x-dof masses equals total mass.
+  double x_mass = 0.0;
+  for (std::size_t node = 0; node < free_model.nodes.size(); ++node)
+    x_mass += m.value_at(map.full_index(node, 0), map.full_index(node, 0));
+  EXPECT_NEAR(x_mass, total_mass(free_model), 1e-9);
+}
+
+TEST(Dynamics, CantileverFirstFrequencyMatchesEulerBernoulli) {
+  // f1 = (1.875104)^2 / (2 pi) * sqrt(E I / (rho A L^4))
+  const auto material = aluminium();
+  const double length = 1.0;
+  const auto model = make_cantilever_beam(
+      {.segments = 24, .length = length, .material = material}, 1.0);
+
+  const auto modal = modal_analysis(model, 2);
+  ASSERT_TRUE(modal.converged);
+  ASSERT_GE(modal.modes.size(), 1u);
+
+  const double beta1 = 1.8751040687;
+  const double exact =
+      beta1 * beta1 / (2.0 * std::numbers::pi) *
+      std::sqrt(material.youngs_modulus * material.moment_of_inertia /
+                (material.density * material.area * std::pow(length, 4)));
+  // Lumped mass converges from below; a few percent at 24 elements.
+  EXPECT_NEAR(modal.modes[0].frequency, exact, exact * 0.03);
+  // Second bending mode is well separated (analytic ratio ~6.27).
+  ASSERT_GE(modal.modes.size(), 2u);
+  EXPECT_GT(modal.modes[1].frequency, 4.0 * modal.modes[0].frequency);
+}
+
+TEST(Dynamics, AxialRodFrequencyMatchesAnalytic) {
+  // Fixed-free rod, axial mode: f1 = c / (4 L), c = sqrt(E / rho).
+  const auto material = aluminium();
+  const double length = 2.0;
+  StructureModel model;
+  const auto mat = model.add_material(material);
+  const std::size_t segments = 40;
+  for (std::size_t i = 0; i <= segments; ++i)
+    model.add_node(static_cast<double>(i) * length /
+                       static_cast<double>(segments),
+                   0.0);
+  for (std::size_t i = 0; i < segments; ++i)
+    model.add_element(ElementType::Bar2, {i, i + 1}, mat);
+  model.fix_node(0);
+  for (std::size_t i = 1; i <= segments; ++i)
+    model.add_constraint(i, 1);  // keep axial-only
+  model.load_set("none");
+
+  const auto modal = modal_analysis(model, 1);
+  ASSERT_TRUE(modal.converged);
+  const double c = std::sqrt(material.youngs_modulus / material.density);
+  const double exact = c / (4.0 * length);
+  EXPECT_NEAR(modal.modes[0].frequency, exact, exact * 0.01);
+}
+
+TEST(Dynamics, NewmarkFreeVibrationPeriodMatchesMode) {
+  // Pluck the cantilever tip and watch it ring at its first frequency.
+  const auto material = aluminium();
+  const auto model = make_cantilever_beam(
+      {.segments = 8, .length = 1.0, .material = material}, 1.0);
+  const auto modal = modal_analysis(model, 1);
+  ASSERT_TRUE(modal.converged);
+  const double f1 = modal.modes[0].frequency;
+  const double period = 1.0 / f1;
+
+  const AssembledSystem system = assemble(model);
+  const std::size_t n = system.dofs.free_dofs;
+  // Impulse-like start: constant tip load for the first tenth period, then
+  // release and ring down.
+  const auto rhs = system.load_vector(model.load_sets.at("tip"));
+  NewmarkOptions options;
+  options.dt = period / 200.0;
+  options.steps = 800;  // four periods
+  const auto transient = newmark_transient(
+      model,
+      [&](double t) {
+        return t < period / 10.0 ? rhs : std::vector<double>(n, 0.0);
+      },
+      options);
+
+  // Find the dominant period from zero crossings of the tip displacement
+  // after release.
+  const std::size_t tip_dof = static_cast<std::size_t>(
+      system.dofs.full_to_reduced[system.dofs.full_index(8, 1)]);
+  std::vector<double> crossings;
+  for (std::size_t i = 1; i < transient.samples.size(); ++i) {
+    const double a = transient.samples[i - 1].displacement[tip_dof];
+    const double b = transient.samples[i].displacement[tip_dof];
+    if (transient.samples[i].time > period / 5.0 && a < 0.0 && b >= 0.0) {
+      const double frac = a / (a - b);
+      crossings.push_back(transient.samples[i - 1].time +
+                          frac * options.dt);
+    }
+  }
+  ASSERT_GE(crossings.size(), 3u);
+  const double measured_period =
+      (crossings.back() - crossings.front()) /
+      static_cast<double>(crossings.size() - 1);
+  EXPECT_NEAR(measured_period, period, period * 0.02);
+}
+
+TEST(Dynamics, NewmarkStaticLoadConvergesToStaticSolution) {
+  // With mass-proportional damping, a suddenly applied constant load
+  // settles onto the static deflection.
+  const auto material = aluminium();
+  const auto model = make_cantilever_beam(
+      {.segments = 6, .length = 1.0, .material = material}, 50.0);
+  const AssembledSystem system = assemble(model);
+  const auto rhs = system.load_vector(model.load_sets.at("tip"));
+
+  const auto modal = modal_analysis(model, 1);
+  const double period = 1.0 / modal.modes[0].frequency;
+  NewmarkOptions options;
+  options.dt = period / 100.0;
+  options.steps = 4000;
+  options.alpha_m = 2.0 * modal.modes[0].omega * 0.2;  // ~20% damping
+
+  const auto transient =
+      newmark_transient(model, [&](double) { return rhs; }, options);
+
+  const auto static_solution = solve_reduced(
+      system, rhs, {.kind = SolverKind::DenseCholesky});
+  const auto& final_u = transient.samples.back().displacement;
+  for (std::size_t i = 0; i < final_u.size(); ++i) {
+    const double expect =
+        static_solution.displacements.values[system.dofs.reduced_to_full[i]];
+    EXPECT_NEAR(final_u[i], expect, 1e-8 + std::abs(expect) * 0.02);
+  }
+}
+
+TEST(Dynamics, UndampedNewmarkConservesPeakAmplitude) {
+  // Average-acceleration Newmark is non-dissipative: the ring-down peak
+  // stays (close to) constant over several periods.
+  const auto material = aluminium();
+  const auto model = make_cantilever_beam(
+      {.segments = 6, .length = 1.0, .material = material}, 10.0);
+  const AssembledSystem system = assemble(model);
+  const auto rhs = system.load_vector(model.load_sets.at("tip"));
+  const auto modal = modal_analysis(model, 1);
+  const double period = 1.0 / modal.modes[0].frequency;
+
+  NewmarkOptions options;
+  options.dt = period / 150.0;
+  options.steps = 1500;  // ten periods
+  const auto transient = newmark_transient(
+      model,
+      [&](double t) {
+        return t < period / 10.0
+                   ? rhs
+                   : std::vector<double>(system.dofs.free_dofs, 0.0);
+      },
+      options);
+
+  // Compare the max amplitude in the 2nd and 9th periods.
+  auto peak_in = [&](double t0, double t1) {
+    double peak = 0.0;
+    for (const auto& sample : transient.samples) {
+      if (sample.time >= t0 && sample.time < t1)
+        peak = std::max(peak, la::norm_inf(sample.displacement));
+    }
+    return peak;
+  };
+  const double early = peak_in(1.0 * period, 2.0 * period);
+  const double late = peak_in(8.0 * period, 9.0 * period);
+  ASSERT_GT(early, 0.0);
+  EXPECT_NEAR(late, early, early * 0.05);
+}
+
+}  // namespace
+}  // namespace fem2::fem

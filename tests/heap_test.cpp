@@ -1,0 +1,159 @@
+// Heap property tests: random alloc/free traces must keep the free list
+// coalesced and the address space exactly tiled, under every policy.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "sysvm/heap.hpp"
+
+namespace fem2::sysvm {
+namespace {
+
+TEST(Heap, BasicAllocateFree) {
+  Heap heap(1024);
+  const auto a = heap.allocate(100);
+  ASSERT_NE(a, Heap::kNullAddress);
+  EXPECT_EQ(heap.block_size(a), 104u);  // aligned to 8
+  EXPECT_EQ(heap.in_use(), 104u);
+  heap.free(a);
+  EXPECT_EQ(heap.in_use(), 0u);
+  EXPECT_EQ(heap.largest_free_block(), 1024u);
+}
+
+TEST(Heap, ExhaustionReturnsNull) {
+  Heap heap(256);
+  const auto a = heap.allocate(200);
+  ASSERT_NE(a, Heap::kNullAddress);
+  EXPECT_EQ(heap.allocate(100), Heap::kNullAddress);
+  EXPECT_EQ(heap.stats().failed_allocations, 1u);
+  heap.free(a);
+  EXPECT_NE(heap.allocate(100), Heap::kNullAddress);
+}
+
+TEST(Heap, CoalescesNeighbors) {
+  Heap heap(1024);
+  const auto a = heap.allocate(128);
+  const auto b = heap.allocate(128);
+  const auto c = heap.allocate(128);
+  heap.free(a);
+  heap.free(c);  // merges with the tail block
+  EXPECT_EQ(heap.free_list_length(), 2u);  // hole at 0 + merged tail
+  heap.free(b);  // merges everything
+  EXPECT_EQ(heap.free_list_length(), 1u);
+  heap.check_invariants();
+}
+
+TEST(Heap, FreeingUnknownAddressIsAnError) {
+  Heap heap(1024);
+  EXPECT_THROW(heap.free(64), support::CheckError);
+  const auto a = heap.allocate(64);
+  heap.free(a);
+  EXPECT_THROW(heap.free(a), support::CheckError);  // double free
+}
+
+TEST(Heap, BestFitPicksTightestHole) {
+  Heap heap(4096, HeapPolicy::BestFit);
+  const auto a = heap.allocate(512);
+  const auto b = heap.allocate(64);
+  const auto c = heap.allocate(256);
+  const auto d = heap.allocate(64);
+  (void)b;
+  (void)d;
+  heap.free(a);  // hole of 512 at 0
+  heap.free(c);  // hole of 256 in the middle
+  // A 200-byte request should land in the 256 hole, not the 512 one.
+  const auto e = heap.allocate(200);
+  EXPECT_EQ(e, 512u + 64u);
+  heap.check_invariants();
+}
+
+TEST(Heap, FirstFitPicksLowestHole) {
+  Heap heap(4096, HeapPolicy::FirstFit);
+  const auto a = heap.allocate(512);
+  const auto b = heap.allocate(64);
+  const auto c = heap.allocate(256);
+  (void)b;
+  heap.free(a);
+  heap.free(c);
+  EXPECT_EQ(heap.allocate(200), 0u);
+}
+
+TEST(Heap, HighWaterTracksPeak) {
+  Heap heap(2048);
+  const auto a = heap.allocate(1000);
+  const auto b = heap.allocate(500);
+  heap.free(a);
+  heap.free(b);
+  EXPECT_EQ(heap.stats().high_water, 1504u);
+  EXPECT_EQ(heap.in_use(), 0u);
+}
+
+class HeapPolicyTrace : public ::testing::TestWithParam<
+                            std::tuple<HeapPolicy, std::uint64_t>> {};
+
+TEST_P(HeapPolicyTrace, RandomTraceKeepsInvariants) {
+  const auto [policy, seed] = GetParam();
+  Heap heap(1u << 20, policy);
+  support::Rng rng(seed);
+  std::vector<std::size_t> live;
+  std::size_t allocated_bytes = 0;
+  std::size_t successes = 0;
+
+  for (int op = 0; op < 5'000; ++op) {
+    if (live.empty() || rng.chance(0.6)) {
+      const std::size_t bytes = 1 + rng.next_below(4096);
+      const auto address = heap.allocate(bytes);
+      if (address != Heap::kNullAddress) {
+        live.push_back(address);
+        allocated_bytes += heap.block_size(address);
+        ++successes;
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      allocated_bytes -= heap.block_size(live[pick]);
+      heap.free(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (op % 257 == 0) heap.check_invariants();
+    EXPECT_EQ(heap.in_use(), allocated_bytes);
+    EXPECT_EQ(heap.live_blocks(), live.size());
+  }
+  heap.check_invariants();
+  EXPECT_GT(successes, 1000u);
+
+  // Free everything: the heap must return to one pristine block.
+  for (const auto address : live) heap.free(address);
+  heap.check_invariants();
+  EXPECT_EQ(heap.in_use(), 0u);
+  EXPECT_EQ(heap.free_list_length(), 1u);
+  EXPECT_EQ(heap.largest_free_block(), 1u << 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, HeapPolicyTrace,
+    ::testing::Combine(::testing::Values(HeapPolicy::FirstFit,
+                                         HeapPolicy::BestFit,
+                                         HeapPolicy::NextFit),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+TEST(Heap, AlignmentRespected) {
+  Heap heap(4096, HeapPolicy::FirstFit, 64);
+  const auto a = heap.allocate(10);
+  const auto b = heap.allocate(10);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(heap.block_size(a), 64u);
+}
+
+TEST(Heap, FragmentationMetricBehaves) {
+  Heap heap(1024);
+  EXPECT_EQ(heap.stats().external_fragmentation, 0.0);
+  std::vector<std::size_t> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(heap.allocate(120));
+  for (std::size_t i = 0; i < blocks.size(); i += 2) heap.free(blocks[i]);
+  // Several equal holes: largest/total < 1 → fragmentation > 0.
+  EXPECT_GT(heap.stats().external_fragmentation, 0.3);
+}
+
+}  // namespace
+}  // namespace fem2::sysvm

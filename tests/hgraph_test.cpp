@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "hgraph/grammar.hpp"
+#include "hgraph/grammar_parser.hpp"
+#include "hgraph/hgraph.hpp"
+#include "hgraph/transform.hpp"
+
+namespace fem2::hgraph {
+namespace {
+
+TEST(HGraph, NodesValuesAndArcs) {
+  HGraph g;
+  const auto root = g.add_node();
+  const auto leaf = g.add_int(7);
+  g.add_arc(root, "child", leaf);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_TRUE(g.is_empty(root));
+  EXPECT_EQ(g.int_value(leaf), 7);
+  EXPECT_EQ(g.follow(root, "child"), leaf);
+  EXPECT_FALSE(g.follow(root, "missing").valid());
+  EXPECT_EQ(g.real_value(leaf), 7.0);  // REAL accepts INT
+  EXPECT_FALSE(g.string_value(leaf).has_value());
+}
+
+TEST(HGraph, SetArcReplacesTarget) {
+  HGraph g;
+  const auto root = g.add_node();
+  const auto a = g.add_int(1);
+  const auto b = g.add_int(2);
+  g.set_arc(root, "x", a);
+  g.set_arc(root, "x", b);
+  EXPECT_EQ(g.arcs(root).size(), 1u);
+  EXPECT_EQ(g.follow(root, "x"), b);
+  EXPECT_TRUE(g.remove_arc(root, "x"));
+  EXPECT_FALSE(g.remove_arc(root, "x"));
+}
+
+TEST(HGraph, FollowPathAndFollowAll) {
+  HGraph g;
+  const auto root = g.add_node();
+  const auto mid = g.add_node();
+  const auto leaf = g.add_string("deep");
+  g.add_arc(root, "a", mid);
+  g.add_arc(mid, "b", leaf);
+  g.add_arc(root, "multi", mid);
+  g.add_arc(root, "multi", leaf);
+  EXPECT_EQ(g.follow_path(root, {"a", "b"}), leaf);
+  EXPECT_FALSE(g.follow_path(root, {"a", "nope"}).valid());
+  EXPECT_EQ(g.follow_all(root, "multi").size(), 2u);
+  EXPECT_EQ(g.arc_count(root, "multi"), 2u);
+}
+
+TEST(HGraph, ReachableHandlesCycles) {
+  HGraph g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  g.add_arc(a, "next", b);
+  g.add_arc(b, "next", a);  // cycle
+  const auto order = g.reachable(a);
+  EXPECT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], a);
+}
+
+TEST(HGraph, StructuralEquality) {
+  HGraph g1, g2;
+  const auto r1 = g1.add_node();
+  g1.add_arc(r1, "x", g1.add_int(5));
+  const auto r2 = g2.add_node();
+  g2.add_arc(r2, "x", g2.add_int(5));
+  EXPECT_TRUE(HGraph::structurally_equal(g1, r1, g2, r2));
+
+  // Different atom breaks equality.
+  HGraph g3;
+  const auto r3 = g3.add_node();
+  g3.add_arc(r3, "x", g3.add_int(6));
+  EXPECT_FALSE(HGraph::structurally_equal(g1, r1, g3, r3));
+
+  // Different sharing structure breaks equality: diamond vs twin leaves.
+  HGraph g4, g5;
+  const auto r4 = g4.add_node();
+  const auto shared = g4.add_int(1);
+  g4.add_arc(r4, "a", shared);
+  g4.add_arc(r4, "b", shared);
+  const auto r5 = g5.add_node();
+  g5.add_arc(r5, "a", g5.add_int(1));
+  g5.add_arc(r5, "b", g5.add_int(1));
+  EXPECT_FALSE(HGraph::structurally_equal(g4, r4, g5, r5));
+}
+
+TEST(HGraph, CyclicStructuralEquality) {
+  HGraph g1, g2;
+  const auto a1 = g1.add_node();
+  const auto b1 = g1.add_node();
+  g1.add_arc(a1, "n", b1);
+  g1.add_arc(b1, "n", a1);
+  const auto a2 = g2.add_node();
+  const auto b2 = g2.add_node();
+  g2.add_arc(a2, "n", b2);
+  g2.add_arc(b2, "n", a2);
+  EXPECT_TRUE(HGraph::structurally_equal(g1, a1, g2, a2));
+  // Self-loop is NOT equal to a 2-cycle.
+  HGraph g3;
+  const auto a3 = g3.add_node();
+  g3.add_arc(a3, "n", a3);
+  EXPECT_FALSE(HGraph::structurally_equal(g1, a1, g3, a3));
+}
+
+TEST(HGraph, DumpAndDotAreDeterministic) {
+  HGraph g;
+  const auto root = g.add_node();
+  g.add_arc(root, "v", g.add_real(1.5));
+  EXPECT_EQ(g.to_string(root), "n0 = nil .v->n1\nn1 = 1.5\n");
+  const auto dot = g.to_dot(root, "t");
+  EXPECT_NE(dot.find("digraph t"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+// --- grammar ---------------------------------------------------------------
+
+TEST(Grammar, AtomKindsMatch) {
+  HGraph g;
+  EXPECT_TRUE(atom_matches(g, g.add_int(1), AtomKind::Int));
+  EXPECT_TRUE(atom_matches(g, g.add_int(1), AtomKind::Real));
+  EXPECT_FALSE(atom_matches(g, g.add_real(1.0), AtomKind::Int));
+  EXPECT_TRUE(atom_matches(g, g.add_string("s"), AtomKind::String));
+  EXPECT_TRUE(atom_matches(g, g.add_node(), AtomKind::Nil));
+  EXPECT_TRUE(atom_matches(g, g.add_node(), AtomKind::Any));
+}
+
+Grammar point_grammar() {
+  return parse_grammar("point ::= { x: REAL, y: REAL }");
+}
+
+TEST(Grammar, CompositeConformance) {
+  HGraph g;
+  const auto p = g.add_node();
+  g.add_arc(p, "x", g.add_real(1.0));
+  g.add_arc(p, "y", g.add_real(2.0));
+  EXPECT_TRUE(point_grammar().conforms(g, p, "point"));
+}
+
+TEST(Grammar, MissingArcFails) {
+  HGraph g;
+  const auto p = g.add_node();
+  g.add_arc(p, "x", g.add_real(1.0));
+  const auto r = point_grammar().conforms(g, p, "point");
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("'y'"), std::string::npos);
+}
+
+TEST(Grammar, ExtraArcFailsUnlessOpen) {
+  HGraph g;
+  const auto p = g.add_node();
+  g.add_arc(p, "x", g.add_real(1.0));
+  g.add_arc(p, "y", g.add_real(2.0));
+  g.add_arc(p, "z", g.add_real(3.0));
+  EXPECT_FALSE(point_grammar().conforms(g, p, "point"));
+  const auto open =
+      parse_grammar("point ::= { x: REAL, y: REAL, ... }");
+  EXPECT_TRUE(open.conforms(g, p, "point"));
+}
+
+TEST(Grammar, AlternativesAndAlias) {
+  const auto g = parse_grammar(R"(
+value ::= INT | REAL | wrapped
+wrapped ::= { v: value }
+alias ::= value
+)");
+  HGraph h;
+  EXPECT_TRUE(g.conforms(h, h.add_int(1), "value"));
+  EXPECT_TRUE(g.conforms(h, h.add_real(1.5), "alias"));
+  const auto w = h.add_node();
+  h.add_arc(w, "v", h.add_int(3));
+  EXPECT_TRUE(g.conforms(h, w, "value"));
+  EXPECT_FALSE(g.conforms(h, h.add_string("no"), "value"));
+}
+
+TEST(Grammar, RecursiveListAndCycleCoinduction) {
+  const auto g = parse_grammar("list ::= NIL | { @INT, next?: list }");
+  HGraph h;
+  // Proper list: 1 -> 2 -> nil-less tail.
+  const auto n2 = h.add_int(2);
+  const auto n1 = h.add_int(1);
+  h.add_arc(n1, "next", n2);
+  EXPECT_TRUE(g.conforms(h, n1, "list"));
+  // Circular list: conforms coinductively.
+  const auto c1 = h.add_int(1);
+  const auto c2 = h.add_int(2);
+  h.add_arc(c1, "next", c2);
+  h.add_arc(c2, "next", c1);
+  EXPECT_TRUE(g.conforms(h, c1, "list"));
+}
+
+TEST(Grammar, IndexedFamilyMustBeContiguous) {
+  const auto g = parse_grammar("vec ::= { item[*]: INT }");
+  HGraph h;
+  const auto good = h.add_node();
+  h.add_arc(good, "item[0]", h.add_int(1));
+  h.add_arc(good, "item[1]", h.add_int(2));
+  EXPECT_TRUE(g.conforms(h, good, "vec"));
+
+  const auto empty = h.add_node();
+  EXPECT_TRUE(g.conforms(h, empty, "vec"));
+
+  const auto gapped = h.add_node();
+  h.add_arc(gapped, "item[0]", h.add_int(1));
+  h.add_arc(gapped, "item[2]", h.add_int(3));
+  EXPECT_FALSE(g.conforms(h, gapped, "vec"));
+
+  const auto dup = h.add_node();
+  h.add_arc(dup, "item[0]", h.add_int(1));
+  h.add_arc(dup, "item[0]", h.add_int(1));
+  EXPECT_FALSE(g.conforms(h, dup, "vec"));
+}
+
+TEST(Grammar, StarMultiplicity) {
+  const auto g = parse_grammar("bag ::= { item*: INT }");
+  HGraph h;
+  const auto none = h.add_node();
+  EXPECT_TRUE(g.conforms(h, none, "bag"));
+  const auto three = h.add_node();
+  for (int i = 0; i < 3; ++i) h.add_arc(three, "item", h.add_int(i));
+  EXPECT_TRUE(g.conforms(h, three, "bag"));
+  const auto bad = h.add_node();
+  h.add_arc(bad, "item", h.add_string("not an int"));
+  EXPECT_FALSE(g.conforms(h, bad, "bag"));
+}
+
+TEST(Grammar, OwnAtomConstraint) {
+  const auto g = parse_grammar("tagged ::= { @STRING, next?: tagged }");
+  HGraph h;
+  const auto good = h.add_string("tag");
+  EXPECT_TRUE(g.conforms(h, good, "tagged"));
+  const auto bad = h.add_int(3);
+  EXPECT_FALSE(g.conforms(h, bad, "tagged"));
+}
+
+TEST(Grammar, ErrorPathsAreInformative) {
+  const auto g = parse_grammar(R"(
+outer ::= { inner: inner }
+inner ::= { v: INT }
+)");
+  HGraph h;
+  const auto o = h.add_node();
+  const auto i = h.add_node();
+  h.add_arc(o, "inner", i);
+  h.add_arc(i, "v", h.add_string("wrong"));
+  const auto r = g.conforms(h, o, "outer");
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error.find(".inner.v"), std::string::npos);
+}
+
+TEST(GrammarParser, RejectsMalformedText) {
+  EXPECT_THROW(parse_grammar("nonsense"), GrammarParseError);
+  EXPECT_THROW(parse_grammar("a ::= { x INT }"), GrammarParseError);
+  EXPECT_THROW(parse_grammar("a ::= { x: undefined_nt }"),
+               GrammarParseError);
+  EXPECT_THROW(parse_grammar("a ::= @ b"), GrammarParseError);
+}
+
+class GrammarParserRobustness
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GrammarParserRobustness, MalformedInputsThrowCleanly) {
+  EXPECT_THROW(parse_grammar(GetParam()), GrammarParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadGrammars, GrammarParserRobustness,
+    ::testing::Values("a ::=", "a ::= {", "a ::= { x: }", "::= INT",
+                      "a ::= INT |", "a ::= { x?: }", "a ::= { @foo }",
+                      "a b ::= INT", "a ::= { x: INT y: INT }",
+                      "a ::= $bad", "a ::= { ..., }"));
+
+TEST(GrammarParser, CommentsAndMultiline) {
+  const auto g = parse_grammar(R"(
+# leading comment
+pair ::= { a: INT,
+           b: INT }   # trailing comment
+)");
+  HGraph h;
+  const auto p = h.add_node();
+  h.add_arc(p, "a", h.add_int(1));
+  h.add_arc(p, "b", h.add_int(2));
+  EXPECT_TRUE(g.conforms(h, p, "pair"));
+}
+
+// --- transforms --------------------------------------------------------------
+
+TEST(Transforms, CheckedApplicationAndInvocation) {
+  auto grammar = parse_grammar(R"(
+counter ::= { @INT }
+)");
+  TransformRegistry registry(std::move(grammar));
+  registry.register_transform(
+      "increment", {"counter", "counter"},
+      [](Invoker&, HGraph& g, NodeId n) {
+        g.set_value(n, Atom{*g.int_value(n) + 1});
+        return n;
+      });
+  registry.register_transform(
+      "increment-twice", {"counter", "counter"},
+      [](Invoker& invoker, HGraph&, NodeId n) {
+        invoker.call("increment", n);
+        return invoker.call("increment", n);
+      });
+
+  HGraph g;
+  const auto n = g.add_int(5);
+  const auto out = registry.apply("increment-twice", g, n);
+  EXPECT_EQ(g.int_value(out), 7);
+  EXPECT_EQ(registry.applications(), 3u);
+}
+
+TEST(Transforms, InputViolationRejected) {
+  TransformRegistry registry(parse_grammar("counter ::= { @INT }"));
+  registry.register_transform("noop", {"counter", "counter"},
+                              [](Invoker&, HGraph&, NodeId n) { return n; });
+  HGraph g;
+  EXPECT_THROW(registry.apply("noop", g, g.add_string("nope")),
+               TransformError);
+}
+
+TEST(Transforms, OutputViolationRejected) {
+  TransformRegistry registry(parse_grammar("counter ::= { @INT }"));
+  registry.register_transform(
+      "corrupt", {"counter", "counter"},
+      [](Invoker&, HGraph& g, NodeId) { return g.add_string("bad"); });
+  HGraph g;
+  EXPECT_THROW(registry.apply("corrupt", g, g.add_int(1)), TransformError);
+}
+
+TEST(Transforms, UnknownTransformRejected) {
+  TransformRegistry registry(parse_grammar("t ::= ANY"));
+  HGraph g;
+  EXPECT_THROW(registry.apply("missing", g, g.add_node()), TransformError);
+}
+
+}  // namespace
+}  // namespace fem2::hgraph

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "hw/event.hpp"
+#include "hw/machine.hpp"
+#include "hw/trace.hpp"
+
+namespace fem2::hw {
+namespace {
+
+TEST(Engine, ProcessesInTimeThenFifoOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(10, [&] { order.push_back(2); });
+  engine.schedule(5, [&] { order.push_back(1); });
+  engine.schedule(10, [&] { order.push_back(3); });  // same time: FIFO
+  engine.schedule(20, [&] { order.push_back(4); });
+  EXPECT_EQ(engine.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(engine.now(), 20u);
+}
+
+TEST(Engine, ActionsMayScheduleMore) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1, [&] {
+    ++fired;
+    engine.schedule(1, [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 2u);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(5, [&] { ++fired; });
+  engine.schedule(15, [&] { ++fired; });
+  engine.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ProcessedAndPendingCounters) {
+  Engine engine;
+  engine.schedule(1, [] {});
+  engine.schedule(2, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.run();
+  EXPECT_EQ(engine.processed(), 2u);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.schedule(10, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5, [] {}), support::CheckError);
+}
+
+MachineConfig small_config() {
+  MachineConfig config;
+  config.clusters = 2;
+  config.pes_per_cluster = 3;
+  config.memory_per_cluster = 1 << 16;
+  return config;
+}
+
+TEST(Machine, PacketDeliveryNotifiesService) {
+  Machine machine(small_config());
+  std::vector<std::uint32_t> notified;
+  machine.set_cluster_service(
+      [&](ClusterId c) { notified.push_back(c.index); });
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 100, std::any{42});
+  EXPECT_EQ(machine.queue_depth(ClusterId{1}), 0u);  // still in flight
+  machine.engine().run();
+  EXPECT_EQ(machine.queue_depth(ClusterId{1}), 1u);
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0], 1u);
+  const auto packet = machine.pop_packet(ClusterId{1});
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(std::any_cast<int>(packet->payload), 42);
+  EXPECT_EQ(packet->source, (ClusterId{0}));
+  EXPECT_FALSE(machine.pop_packet(ClusterId{1}).has_value());
+}
+
+TEST(Machine, IntraClusterIsFasterThanNetwork) {
+  Machine machine(small_config());
+  Cycles local_time = 0, remote_time = 0;
+  machine.set_cluster_service([&](ClusterId c) {
+    if (c.index == 0 && local_time == 0) local_time = machine.now();
+    if (c.index == 1 && remote_time == 0) remote_time = machine.now();
+  });
+  machine.send_packet(ClusterId{0}, ClusterId{0}, 1000, {});
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 1000, {});
+  machine.engine().run();
+  EXPECT_GT(remote_time, local_time);
+}
+
+TEST(Machine, NetworkChannelSerializes) {
+  auto config = small_config();
+  config.model_network_contention = true;
+  Machine machine(config);
+  std::vector<Cycles> arrivals;
+  machine.set_cluster_service(
+      [&](ClusterId) { arrivals.push_back(machine.now()); });
+  // Two large packets to the same destination must arrive apart by at
+  // least their transfer time.
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 10'000, {});
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 10'000, {});
+  machine.engine().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const auto transfer = static_cast<Cycles>(
+      config.network_cycles_per_byte * 10'000);
+  EXPECT_GE(arrivals[1] - arrivals[0], transfer);
+  EXPECT_EQ(machine.metrics().network.messages, 2u);
+  EXPECT_EQ(machine.metrics().network.bytes, 20'000u);
+}
+
+TEST(Machine, WorkerAcquisitionSkipsKernelPe) {
+  Machine machine(small_config());
+  const ClusterId c{0};
+  EXPECT_EQ(machine.kernel_pe(c), (PeId{c, 0}));
+  EXPECT_EQ(machine.idle_workers(c), 2u);  // PEs 1 and 2
+  const PeId w1 = machine.acquire_worker(c);
+  const PeId w2 = machine.acquire_worker(c);
+  EXPECT_TRUE(w1.valid());
+  EXPECT_NE(w1.index, 0u);
+  EXPECT_NE(w2.index, 0u);
+  EXPECT_FALSE(machine.acquire_worker(c).valid());
+  machine.release_worker(w1);
+  EXPECT_EQ(machine.idle_workers(c), 1u);
+}
+
+TEST(Machine, SinglePeClusterKernelDoublesAsWorker) {
+  MachineConfig config;
+  config.clusters = 1;
+  config.pes_per_cluster = 1;
+  Machine machine(config);
+  const PeId pe = machine.acquire_worker(ClusterId{0});
+  EXPECT_TRUE(pe.valid());
+  EXPECT_EQ(pe.index, 0u);
+}
+
+TEST(Machine, OccupyChargesBusyCycles) {
+  Machine machine(small_config());
+  const PeId pe = machine.acquire_worker(ClusterId{0});
+  bool done = false;
+  machine.occupy(pe, 500, [&] { done = true; });
+  machine.engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(machine.now(), 500u);
+  EXPECT_EQ(machine.metrics().pes[1].busy_cycles, 500u);
+  EXPECT_EQ(machine.metrics().pes[1].work_items, 1u);
+}
+
+TEST(Machine, FailedPeDropsWorkAndFiresHandler) {
+  Machine machine(small_config());
+  std::vector<std::uint32_t> lost;
+  machine.set_work_lost_handler(
+      [&](ClusterId c) { lost.push_back(c.index); });
+  const PeId pe = machine.acquire_worker(ClusterId{0});
+  bool completed = false;
+  machine.occupy(pe, 100, [&] { completed = true; });
+  machine.engine().schedule(50, [&] { machine.fail_pe(pe); });
+  machine.engine().run();
+  EXPECT_FALSE(completed);
+  // Handler fires at fail time (busy PE) and again at the dropped
+  // completion; both refer to cluster 0.
+  EXPECT_GE(lost.size(), 1u);
+  for (const auto c : lost) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(machine.failed_pe_count(), 1u);
+}
+
+TEST(Machine, KernelPromotionOnFailure) {
+  Machine machine(small_config());
+  const ClusterId c{0};
+  machine.fail_pe(PeId{c, 0});
+  EXPECT_EQ(machine.kernel_pe(c), (PeId{c, 1}));
+  machine.fail_pe(PeId{c, 1});
+  EXPECT_EQ(machine.kernel_pe(c), (PeId{c, 2}));
+  machine.fail_pe(PeId{c, 2});
+  EXPECT_FALSE(machine.kernel_pe(c).valid());
+  machine.restore_pe(PeId{c, 1});
+  EXPECT_EQ(machine.kernel_pe(c), (PeId{c, 1}));
+  EXPECT_EQ(machine.alive_pes(c), 1u);
+}
+
+TEST(Machine, RestoredPeInvalidatesOldWork) {
+  Machine machine(small_config());
+  int lost = 0;
+  machine.set_work_lost_handler([&](ClusterId) { ++lost; });
+  const PeId pe = machine.acquire_worker(ClusterId{0});
+  bool completed = false;
+  machine.occupy(pe, 100, [&] { completed = true; });
+  machine.engine().schedule(10, [&] {
+    machine.fail_pe(pe);
+    machine.restore_pe(pe);  // power-cycled: generation moves on
+  });
+  machine.engine().run();
+  EXPECT_FALSE(completed);
+  EXPECT_GE(lost, 1);
+}
+
+TEST(Machine, MemoryAccounting) {
+  Machine machine(small_config());
+  const ClusterId c{0};
+  machine.allocate(c, 1000);
+  machine.allocate(c, 2000);
+  EXPECT_EQ(machine.memory_in_use(c), 3000u);
+  machine.release(c, 1000);
+  EXPECT_EQ(machine.memory_in_use(c), 2000u);
+  EXPECT_EQ(machine.metrics().clusters[0].memory_high_water, 3000u);
+  EXPECT_THROW(machine.allocate(c, 1 << 20), OutOfMemory);
+  EXPECT_THROW(machine.release(c, 99'999), support::CheckError);
+}
+
+TEST(Machine, UtilizationConservation) {
+  // busy cycles of any PE can never exceed elapsed time.
+  Machine machine(small_config());
+  const PeId w = machine.acquire_worker(ClusterId{0});
+  machine.occupy(w, 300, [&] { machine.release_worker(w); });
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 64, {});
+  machine.engine().run();
+  const auto elapsed = machine.now();
+  for (const auto& pe : machine.metrics().pes)
+    EXPECT_LE(pe.busy_cycles, elapsed);
+  EXPECT_LE(machine.metrics().pe_utilization(elapsed), 1.0);
+}
+
+TEST(Machine, MemoryPortSerializesLocalHandoffs) {
+  auto config = small_config();
+  config.model_memory_contention = true;
+  config.memory_cycles_per_byte = 1.0;
+  Machine machine(config);
+  std::vector<Cycles> arrivals;
+  machine.set_cluster_service(
+      [&](ClusterId) { arrivals.push_back(machine.now()); });
+  machine.send_packet(ClusterId{0}, ClusterId{0}, 1'000, {});
+  machine.send_packet(ClusterId{0}, ClusterId{0}, 1'000, {});
+  machine.engine().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GE(arrivals[1] - arrivals[0], 1'000u);  // serialized on the port
+  EXPECT_GE(machine.metrics().network.memory_port_busy_cycles, 2'000u);
+}
+
+TEST(Tracer, RecordsMachineActivity) {
+  Machine machine(small_config());
+  Tracer tracer;
+  machine.set_tracer(&tracer);
+
+  const PeId worker = machine.acquire_worker(ClusterId{0});
+  machine.occupy(worker, 400, [&] { machine.release_worker(worker); });
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 128, {});
+  machine.fail_pe(PeId{ClusterId{1}, 2});
+  machine.engine().run();
+
+  std::size_t sent = 0, delivered = 0, started = 0, finished = 0, failed = 0;
+  for (const auto& e : tracer.events()) {
+    switch (e.kind) {
+      case TraceKind::MessageSent: ++sent; break;
+      case TraceKind::MessageDelivered: ++delivered; break;
+      case TraceKind::WorkStarted: ++started; break;
+      case TraceKind::WorkFinished: ++finished; break;
+      case TraceKind::PeFailed: ++failed; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(sent, 1u);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(started, 1u);
+  EXPECT_EQ(finished, 1u);
+  EXPECT_EQ(failed, 1u);
+
+  const auto gantt = tracer.render_pe_gantt(machine.config(), 0,
+                                            machine.now() + 1, 40);
+  // The busy PE (cluster 0, pe 1) shows activity; kernel PEs are marked.
+  EXPECT_NE(gantt.find("c0p1"), std::string::npos);
+  EXPECT_NE(gantt.find("c0p0*"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+
+  const auto profile =
+      tracer.render_message_profile(0, machine.now() + 1, 30);
+  EXPECT_NE(profile.find("peak 1"), std::string::npos);
+}
+
+TEST(Tracer, BoundedCapacityDropsOldest) {
+  Tracer tracer(100);
+  for (std::uint64_t i = 0; i < 250; ++i)
+    tracer.record({i, TraceKind::MessageSent, ClusterId{0}, 0, 1});
+  EXPECT_LE(tracer.events().size(), 100u);
+  EXPECT_GT(tracer.dropped(), 0u);
+  // The newest events survive.
+  EXPECT_EQ(tracer.events().back().time, 249u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Machine, TrafficMatrixCountsPairs) {
+  Machine machine(small_config());
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 64, {});
+  machine.send_packet(ClusterId{0}, ClusterId{1}, 64, {});
+  machine.send_packet(ClusterId{1}, ClusterId{0}, 64, {});
+  machine.send_packet(ClusterId{1}, ClusterId{1}, 64, {});  // local
+  machine.engine().run();
+  const auto& net = machine.metrics().network;
+  EXPECT_EQ(net.traffic(0, 1), 2u);
+  EXPECT_EQ(net.traffic(1, 0), 1u);
+  EXPECT_EQ(net.traffic(1, 1), 1u);
+  EXPECT_EQ(net.traffic(0, 0), 0u);
+  const auto rendered = net.render_traffic_matrix();
+  EXPECT_NE(rendered.find("c0"), std::string::npos);
+  EXPECT_NE(rendered.find("2"), std::string::npos);
+}
+
+TEST(Machine, QueuePeakTracked) {
+  Machine machine(small_config());
+  for (int i = 0; i < 5; ++i)
+    machine.send_packet(ClusterId{0}, ClusterId{1}, 64, {});
+  machine.engine().run();
+  EXPECT_EQ(machine.metrics().clusters[1].queue_peak, 5u);
+  EXPECT_EQ(machine.metrics().clusters[0].packets_out, 5u);
+  EXPECT_EQ(machine.metrics().clusters[1].packets_in, 5u);
+}
+
+}  // namespace
+}  // namespace fem2::hw

@@ -1,0 +1,233 @@
+// Executable formal-specification tests: every live implementation state
+// reachable in the tests must be in the language of its layer's H-graph
+// grammar — the paper's "formal definitions used as the basis for
+// simulations" enforced mechanically.
+#include <gtest/gtest.h>
+
+#include "appvm/command.hpp"
+#include "fem/analysis.hpp"
+#include "fem/mesh.hpp"
+#include "navm/parops.hpp"
+#include "spec/layers.hpp"
+#include "spec/reflect.hpp"
+#include "spec/transforms.hpp"
+
+namespace fem2::spec {
+namespace {
+
+TEST(Grammars, AllFourLayersParseAndValidate) {
+  EXPECT_TRUE(appvm_grammar().validate());
+  EXPECT_TRUE(navm_grammar().validate());
+  EXPECT_TRUE(sysvm_grammar().validate());
+  EXPECT_TRUE(hw_grammar().validate());
+}
+
+TEST(Layer1, ReflectedModelsConform) {
+  const auto grammar = appvm_grammar();
+  for (const auto& model :
+       {fem::make_cantilever_plate({.nx = 4, .ny = 2}, 10.0),
+        fem::make_cantilever_beam({.segments = 4}, 5.0),
+        fem::make_truss_bridge({.bays = 3}, 2.0)}) {
+    hgraph::HGraph g;
+    const auto root = reflect_model(g, model);
+    const auto check = grammar.conforms(g, root, "structure");
+    EXPECT_TRUE(check) << model.name << ": " << check.error;
+  }
+}
+
+TEST(Layer1, CorruptedStateIsRejected) {
+  const auto grammar = appvm_grammar();
+  const auto model = fem::make_cantilever_beam({.segments = 2}, 1.0);
+  hgraph::HGraph g;
+  const auto root = reflect_model(g, model);
+  // Corrupt: a grid point loses its y coordinate.
+  const auto point = g.follow(root, "node[0]");
+  ASSERT_TRUE(point.valid());
+  g.remove_arc(point, "y");
+  EXPECT_FALSE(grammar.conforms(g, root, "structure"));
+}
+
+TEST(Layer1, ResultsAndWorkspaceAndDatabaseConform) {
+  const auto grammar = appvm_grammar();
+  const auto model = fem::make_cantilever_plate({.nx = 4, .ny = 2}, 10.0);
+  const auto results = fem::analyze(model, "tip-shear");
+
+  hgraph::HGraph g;
+  EXPECT_TRUE(grammar.conforms(g, reflect_results(g, results), "results"));
+
+  appvm::Database db;
+  appvm::Session session(db, "spec-tester");
+  session.execute("mesh plate nx=4 ny=2 load=3");
+  session.execute("solve tip-shear");
+  session.execute("store panel");
+  hgraph::HGraph g2;
+  const auto ws = reflect_workspace(g2, session);
+  EXPECT_TRUE(grammar.conforms(g2, ws, "workspace"));
+  const auto dbn = reflect_database(g2, session.database());
+  EXPECT_TRUE(grammar.conforms(g2, dbn, "database"));
+}
+
+TEST(Layer2, WindowsAndTaskSystemConform) {
+  const auto grammar = navm_grammar();
+  hgraph::HGraph g;
+  EXPECT_TRUE(
+      grammar.conforms(g, reflect_window(g, navm::Window{3, 0, 1, 4, 5}),
+                       "window"));
+
+  // Run a real workload, then reflect the whole task system.
+  hw::MachineConfig config;
+  config.clusters = 2;
+  config.pes_per_cluster = 3;
+  hw::Machine machine(config);
+  sysvm::Os os(machine);
+  navm::Runtime runtime(os);
+  navm::register_parallel_ops(runtime);
+  runtime.define_task("main", [](navm::TaskContext& ctx) -> navm::Coro {
+    const auto w = ctx.create_vector({1, 2, 3, 4});
+    auto results = co_await navm::forall(
+        ctx, navm::kDotTask, 2, [&](std::uint32_t i) {
+          const auto parts = w.split_rows(2);
+          return navm::make_dot_params({parts[i], parts[i]});
+        });
+    (void)results;
+    co_return sysvm::Payload{};
+  });
+  const auto id = runtime.launch("main");
+  runtime.run();
+  ASSERT_TRUE(os.task_finished(id));
+
+  hgraph::HGraph g2;
+  const auto root = reflect_task_system(g2, os, runtime);
+  const auto check = grammar.conforms(g2, root, "tasksystem");
+  EXPECT_TRUE(check) << check.error;
+}
+
+TEST(Layer3, AllSevenMessageTypesConform) {
+  const auto grammar = sysvm_grammar();
+  std::vector<sysvm::Message> messages;
+  sysvm::MsgInitiate init;
+  init.task_type = "t";
+  init.task = 5;
+  init.parent = 1;
+  messages.emplace_back(std::move(init));
+  messages.emplace_back(sysvm::MsgPauseNotify{7, 1});
+  messages.emplace_back(sysvm::MsgResumeChild{7, {}});
+  messages.emplace_back(sysvm::MsgTerminateNotify{7, 1, {}});
+  sysvm::MsgRemoteCall call;
+  call.procedure = "p";
+  call.caller = 3;
+  call.token = 9;
+  messages.emplace_back(std::move(call));
+  messages.emplace_back(sysvm::MsgRemoteReturn{3, 9, {}});
+  messages.emplace_back(sysvm::MsgLoadCode{"t", 4096});
+
+  for (const auto& m : messages) {
+    hgraph::HGraph g;
+    const auto node = reflect_message(g, m);
+    const auto check = grammar.conforms(g, node, "message");
+    EXPECT_TRUE(check)
+        << sysvm::message_type_name(sysvm::message_type(m)) << ": "
+        << check.error;
+  }
+}
+
+TEST(Layer3And4, KernelAndMachineConformAfterRealRun) {
+  hw::MachineConfig config;
+  config.clusters = 2;
+  config.pes_per_cluster = 2;
+  hw::Machine machine(config);
+  sysvm::Os os(machine);
+  navm::Runtime runtime(os);
+  runtime.define_task("noop", [](navm::TaskContext& ctx) -> navm::Coro {
+    ctx.charge(100);
+    co_return sysvm::Payload{};
+  });
+  const auto id = runtime.launch("noop");
+  runtime.run();
+  ASSERT_TRUE(os.task_finished(id));
+
+  const auto sys_grammar = sysvm_grammar();
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    hgraph::HGraph g;
+    const auto kernel = reflect_kernel(g, os, hw::ClusterId{c});
+    const auto check = sys_grammar.conforms(g, kernel, "kernel");
+    EXPECT_TRUE(check) << check.error;
+  }
+
+  hgraph::HGraph g;
+  const auto machine_node = reflect_machine(g, machine);
+  const auto check = hw_grammar().conforms(g, machine_node, "machine");
+  EXPECT_TRUE(check) << check.error;
+}
+
+TEST(Layer4, MachineWithFailedPesStillConforms) {
+  hw::MachineConfig config;
+  config.clusters = 2;
+  config.pes_per_cluster = 3;
+  hw::Machine machine(config);
+  machine.fail_pe(hw::PeId{hw::ClusterId{0}, 0});
+  hgraph::HGraph g;
+  const auto node = reflect_machine(g, machine);
+  EXPECT_TRUE(hw_grammar().conforms(g, node, "machine"));
+  // The reflected kernel of cluster 0 is the promoted PE 1.
+  const auto cluster0 = g.follow(node, "cluster[0]");
+  EXPECT_EQ(g.int_value(g.follow(cluster0, "kernel_pe")), 1);
+  const auto pe0 = g.follow(cluster0, "pe[0]");
+  EXPECT_EQ(g.string_value(g.follow(pe0, "state")), "failed");
+}
+
+TEST(Transforms, BuildConformingModelAndCatchViolations) {
+  auto registry = make_appvm_transforms();
+  hgraph::HGraph g;
+  const auto name_arg = g.add_node();
+  g.add_arc(name_arg, "name", g.add_string("t"));
+  const auto model = registry.apply("define-structure-model", g, name_arg);
+
+  const auto grid_arg = g.add_node();
+  g.add_arc(grid_arg, "model", model);
+  g.add_arc(grid_arg, "nx", g.add_int(2));
+  g.add_arc(grid_arg, "ny", g.add_int(2));
+  g.add_arc(grid_arg, "width", g.add_real(1.0));
+  g.add_arc(grid_arg, "height", g.add_real(1.0));
+  registry.apply("generate-grid", g, grid_arg);
+
+  const auto count = registry.apply("count-nodes", g, model);
+  EXPECT_EQ(g.int_value(count), 9);
+
+  // Malformed argument records are rejected before the transform runs.
+  const auto bad_arg = g.add_node();
+  g.add_arc(bad_arg, "model", model);
+  EXPECT_THROW(registry.apply("add-node", g, bad_arg),
+               hgraph::TransformError);
+}
+
+TEST(Transforms, AddLoadGroupsByName) {
+  auto registry = make_appvm_transforms();
+  hgraph::HGraph g;
+  const auto name_arg = g.add_node();
+  g.add_arc(name_arg, "name", g.add_string("t"));
+  const auto model = registry.apply("define-structure-model", g, name_arg);
+
+  auto add_load = [&](const char* set, std::int64_t node) {
+    const auto arg = g.add_node();
+    g.add_arc(arg, "model", model);
+    g.add_arc(arg, "set", g.add_string(set));
+    g.add_arc(arg, "node", g.add_int(node));
+    g.add_arc(arg, "dof", g.add_int(1));
+    g.add_arc(arg, "value", g.add_real(-1.0));
+    registry.apply("add-load", g, arg);
+  };
+  add_load("wind", 0);
+  add_load("wind", 1);
+  add_load("dead", 2);
+  EXPECT_EQ(g.arc_count(model, "loadset[0]") +
+                g.arc_count(model, "loadset[1]"),
+            2u);
+  const auto wind = g.follow(model, "loadset[0]");
+  EXPECT_EQ(g.follow_all(wind, "pointload[0]").size() +
+                g.follow_all(wind, "pointload[1]").size(),
+            2u);
+}
+
+}  // namespace
+}  // namespace fem2::spec
