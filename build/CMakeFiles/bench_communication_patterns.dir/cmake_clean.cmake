@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_communication_patterns.dir/bench/bench_communication_patterns.cpp.o"
+  "CMakeFiles/bench_communication_patterns.dir/bench/bench_communication_patterns.cpp.o.d"
+  "bench/bench_communication_patterns"
+  "bench/bench_communication_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_communication_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_isolation.dir/bench/bench_fault_isolation.cpp.o"
+  "CMakeFiles/bench_fault_isolation.dir/bench/bench_fault_isolation.cpp.o.d"
+  "bench/bench_fault_isolation"
+  "bench/bench_fault_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fem1_vs_fem2.dir/bench/bench_fem1_vs_fem2.cpp.o"
+  "CMakeFiles/bench_fem1_vs_fem2.dir/bench/bench_fem1_vs_fem2.cpp.o.d"
+  "bench/bench_fem1_vs_fem2"
+  "bench/bench_fem1_vs_fem2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fem1_vs_fem2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

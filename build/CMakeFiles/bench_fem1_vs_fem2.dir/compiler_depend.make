@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fem1_vs_fem2.
+# This may be replaced when dependencies are built.

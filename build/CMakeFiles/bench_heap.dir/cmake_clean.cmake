@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heap.dir/bench/bench_heap.cpp.o"
+  "CMakeFiles/bench_heap.dir/bench/bench_heap.cpp.o.d"
+  "bench/bench_heap"
+  "bench/bench_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

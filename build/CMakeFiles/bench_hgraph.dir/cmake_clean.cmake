@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hgraph.dir/bench/bench_hgraph.cpp.o"
+  "CMakeFiles/bench_hgraph.dir/bench/bench_hgraph.cpp.o.d"
+  "bench/bench_hgraph"
+  "bench/bench_hgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

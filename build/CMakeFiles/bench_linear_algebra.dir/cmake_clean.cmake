@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_algebra.dir/bench/bench_linear_algebra.cpp.o"
+  "CMakeFiles/bench_linear_algebra.dir/bench/bench_linear_algebra.cpp.o.d"
+  "bench/bench_linear_algebra"
+  "bench/bench_linear_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallelism_levels.dir/bench/bench_parallelism_levels.cpp.o"
+  "CMakeFiles/bench_parallelism_levels.dir/bench/bench_parallelism_levels.cpp.o.d"
+  "bench/bench_parallelism_levels"
+  "bench/bench_parallelism_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallelism_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_requirements.dir/bench/bench_requirements.cpp.o"
+  "CMakeFiles/bench_requirements.dir/bench/bench_requirements.cpp.o.d"
+  "bench/bench_requirements"
+  "bench/bench_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

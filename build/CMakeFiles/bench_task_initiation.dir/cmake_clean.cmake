@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_initiation.dir/bench/bench_task_initiation.cpp.o"
+  "CMakeFiles/bench_task_initiation.dir/bench/bench_task_initiation.cpp.o.d"
+  "bench/bench_task_initiation"
+  "bench/bench_task_initiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_initiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

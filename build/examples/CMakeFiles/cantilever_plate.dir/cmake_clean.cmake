@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cantilever_plate.dir/cantilever_plate.cpp.o"
+  "CMakeFiles/cantilever_plate.dir/cantilever_plate.cpp.o.d"
+  "cantilever_plate"
+  "cantilever_plate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cantilever_plate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

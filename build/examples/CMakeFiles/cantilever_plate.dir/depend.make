@@ -1,0 +1,2 @@
+# Empty dependencies file for cantilever_plate.
+# This may be replaced when dependencies are built.

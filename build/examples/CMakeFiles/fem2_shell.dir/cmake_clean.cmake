@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_shell.dir/fem2_shell.cpp.o"
+  "CMakeFiles/fem2_shell.dir/fem2_shell.cpp.o.d"
+  "fem2_shell"
+  "fem2_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgraph_spec_demo.dir/hgraph_spec_demo.cpp.o"
+  "CMakeFiles/hgraph_spec_demo.dir/hgraph_spec_demo.cpp.o.d"
+  "hgraph_spec_demo"
+  "hgraph_spec_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgraph_spec_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/modal_analysis.cpp" "examples/CMakeFiles/modal_analysis.dir/modal_analysis.cpp.o" "gcc" "examples/CMakeFiles/modal_analysis.dir/modal_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem1/CMakeFiles/fem2_fem1.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/fem2_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hgraph/CMakeFiles/fem2_hgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/appvm/CMakeFiles/fem2_appvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/fem2_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/navm/CMakeFiles/fem2_navm.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fem2_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysvm/CMakeFiles/fem2_sysvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fem2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modal_analysis.dir/modal_analysis.cpp.o"
+  "CMakeFiles/modal_analysis.dir/modal_analysis.cpp.o.d"
+  "modal_analysis"
+  "modal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

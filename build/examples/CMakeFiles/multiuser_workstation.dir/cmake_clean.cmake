@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_workstation.dir/multiuser_workstation.cpp.o"
+  "CMakeFiles/multiuser_workstation.dir/multiuser_workstation.cpp.o.d"
+  "multiuser_workstation"
+  "multiuser_workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

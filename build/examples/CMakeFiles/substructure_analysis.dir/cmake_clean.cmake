@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substructure_analysis.dir/substructure_analysis.cpp.o"
+  "CMakeFiles/substructure_analysis.dir/substructure_analysis.cpp.o.d"
+  "substructure_analysis"
+  "substructure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substructure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_appvm.dir/command.cpp.o"
+  "CMakeFiles/fem2_appvm.dir/command.cpp.o.d"
+  "CMakeFiles/fem2_appvm.dir/database.cpp.o"
+  "CMakeFiles/fem2_appvm.dir/database.cpp.o.d"
+  "CMakeFiles/fem2_appvm.dir/serialize.cpp.o"
+  "CMakeFiles/fem2_appvm.dir/serialize.cpp.o.d"
+  "CMakeFiles/fem2_appvm.dir/workspace.cpp.o"
+  "CMakeFiles/fem2_appvm.dir/workspace.cpp.o.d"
+  "libfem2_appvm.a"
+  "libfem2_appvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_appvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/analysis.cpp" "src/fem/CMakeFiles/fem2_fem.dir/analysis.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/analysis.cpp.o.d"
+  "/root/repo/src/fem/assembly.cpp" "src/fem/CMakeFiles/fem2_fem.dir/assembly.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/assembly.cpp.o.d"
+  "/root/repo/src/fem/dynamics.cpp" "src/fem/CMakeFiles/fem2_fem.dir/dynamics.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/dynamics.cpp.o.d"
+  "/root/repo/src/fem/element.cpp" "src/fem/CMakeFiles/fem2_fem.dir/element.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/element.cpp.o.d"
+  "/root/repo/src/fem/mesh.cpp" "src/fem/CMakeFiles/fem2_fem.dir/mesh.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/mesh.cpp.o.d"
+  "/root/repo/src/fem/model.cpp" "src/fem/CMakeFiles/fem2_fem.dir/model.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/model.cpp.o.d"
+  "/root/repo/src/fem/passembly.cpp" "src/fem/CMakeFiles/fem2_fem.dir/passembly.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/passembly.cpp.o.d"
+  "/root/repo/src/fem/solver.cpp" "src/fem/CMakeFiles/fem2_fem.dir/solver.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/solver.cpp.o.d"
+  "/root/repo/src/fem/stress.cpp" "src/fem/CMakeFiles/fem2_fem.dir/stress.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/stress.cpp.o.d"
+  "/root/repo/src/fem/substructure.cpp" "src/fem/CMakeFiles/fem2_fem.dir/substructure.cpp.o" "gcc" "src/fem/CMakeFiles/fem2_fem.dir/substructure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fem2_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/navm/CMakeFiles/fem2_navm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysvm/CMakeFiles/fem2_sysvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fem2_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

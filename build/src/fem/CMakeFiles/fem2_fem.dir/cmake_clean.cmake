@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_fem.dir/analysis.cpp.o"
+  "CMakeFiles/fem2_fem.dir/analysis.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/assembly.cpp.o"
+  "CMakeFiles/fem2_fem.dir/assembly.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/dynamics.cpp.o"
+  "CMakeFiles/fem2_fem.dir/dynamics.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/element.cpp.o"
+  "CMakeFiles/fem2_fem.dir/element.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/mesh.cpp.o"
+  "CMakeFiles/fem2_fem.dir/mesh.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/model.cpp.o"
+  "CMakeFiles/fem2_fem.dir/model.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/passembly.cpp.o"
+  "CMakeFiles/fem2_fem.dir/passembly.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/solver.cpp.o"
+  "CMakeFiles/fem2_fem.dir/solver.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/stress.cpp.o"
+  "CMakeFiles/fem2_fem.dir/stress.cpp.o.d"
+  "CMakeFiles/fem2_fem.dir/substructure.cpp.o"
+  "CMakeFiles/fem2_fem.dir/substructure.cpp.o.d"
+  "libfem2_fem.a"
+  "libfem2_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

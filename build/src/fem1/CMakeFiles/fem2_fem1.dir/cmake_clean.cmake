@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_fem1.dir/fem1.cpp.o"
+  "CMakeFiles/fem2_fem1.dir/fem1.cpp.o.d"
+  "libfem2_fem1.a"
+  "libfem2_fem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_fem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hgraph/grammar.cpp" "src/hgraph/CMakeFiles/fem2_hgraph.dir/grammar.cpp.o" "gcc" "src/hgraph/CMakeFiles/fem2_hgraph.dir/grammar.cpp.o.d"
+  "/root/repo/src/hgraph/grammar_parser.cpp" "src/hgraph/CMakeFiles/fem2_hgraph.dir/grammar_parser.cpp.o" "gcc" "src/hgraph/CMakeFiles/fem2_hgraph.dir/grammar_parser.cpp.o.d"
+  "/root/repo/src/hgraph/hgraph.cpp" "src/hgraph/CMakeFiles/fem2_hgraph.dir/hgraph.cpp.o" "gcc" "src/hgraph/CMakeFiles/fem2_hgraph.dir/hgraph.cpp.o.d"
+  "/root/repo/src/hgraph/transform.cpp" "src/hgraph/CMakeFiles/fem2_hgraph.dir/transform.cpp.o" "gcc" "src/hgraph/CMakeFiles/fem2_hgraph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_hgraph.dir/grammar.cpp.o"
+  "CMakeFiles/fem2_hgraph.dir/grammar.cpp.o.d"
+  "CMakeFiles/fem2_hgraph.dir/grammar_parser.cpp.o"
+  "CMakeFiles/fem2_hgraph.dir/grammar_parser.cpp.o.d"
+  "CMakeFiles/fem2_hgraph.dir/hgraph.cpp.o"
+  "CMakeFiles/fem2_hgraph.dir/hgraph.cpp.o.d"
+  "CMakeFiles/fem2_hgraph.dir/transform.cpp.o"
+  "CMakeFiles/fem2_hgraph.dir/transform.cpp.o.d"
+  "libfem2_hgraph.a"
+  "libfem2_hgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_hgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

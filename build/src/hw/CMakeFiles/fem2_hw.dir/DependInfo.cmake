@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/event.cpp" "src/hw/CMakeFiles/fem2_hw.dir/event.cpp.o" "gcc" "src/hw/CMakeFiles/fem2_hw.dir/event.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/fem2_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/fem2_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/metrics.cpp" "src/hw/CMakeFiles/fem2_hw.dir/metrics.cpp.o" "gcc" "src/hw/CMakeFiles/fem2_hw.dir/metrics.cpp.o.d"
+  "/root/repo/src/hw/trace.cpp" "src/hw/CMakeFiles/fem2_hw.dir/trace.cpp.o" "gcc" "src/hw/CMakeFiles/fem2_hw.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

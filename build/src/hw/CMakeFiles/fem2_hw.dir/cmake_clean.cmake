@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_hw.dir/event.cpp.o"
+  "CMakeFiles/fem2_hw.dir/event.cpp.o.d"
+  "CMakeFiles/fem2_hw.dir/machine.cpp.o"
+  "CMakeFiles/fem2_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/fem2_hw.dir/metrics.cpp.o"
+  "CMakeFiles/fem2_hw.dir/metrics.cpp.o.d"
+  "CMakeFiles/fem2_hw.dir/trace.cpp.o"
+  "CMakeFiles/fem2_hw.dir/trace.cpp.o.d"
+  "libfem2_hw.a"
+  "libfem2_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_la.dir/dense.cpp.o"
+  "CMakeFiles/fem2_la.dir/dense.cpp.o.d"
+  "CMakeFiles/fem2_la.dir/eigen.cpp.o"
+  "CMakeFiles/fem2_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/fem2_la.dir/iterative.cpp.o"
+  "CMakeFiles/fem2_la.dir/iterative.cpp.o.d"
+  "CMakeFiles/fem2_la.dir/skyline.cpp.o"
+  "CMakeFiles/fem2_la.dir/skyline.cpp.o.d"
+  "CMakeFiles/fem2_la.dir/sparse.cpp.o"
+  "CMakeFiles/fem2_la.dir/sparse.cpp.o.d"
+  "CMakeFiles/fem2_la.dir/vec_ops.cpp.o"
+  "CMakeFiles/fem2_la.dir/vec_ops.cpp.o.d"
+  "libfem2_la.a"
+  "libfem2_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/navm/parops.cpp" "src/navm/CMakeFiles/fem2_navm.dir/parops.cpp.o" "gcc" "src/navm/CMakeFiles/fem2_navm.dir/parops.cpp.o.d"
+  "/root/repo/src/navm/runtime.cpp" "src/navm/CMakeFiles/fem2_navm.dir/runtime.cpp.o" "gcc" "src/navm/CMakeFiles/fem2_navm.dir/runtime.cpp.o.d"
+  "/root/repo/src/navm/task.cpp" "src/navm/CMakeFiles/fem2_navm.dir/task.cpp.o" "gcc" "src/navm/CMakeFiles/fem2_navm.dir/task.cpp.o.d"
+  "/root/repo/src/navm/window.cpp" "src/navm/CMakeFiles/fem2_navm.dir/window.cpp.o" "gcc" "src/navm/CMakeFiles/fem2_navm.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysvm/CMakeFiles/fem2_sysvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fem2_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fem2_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

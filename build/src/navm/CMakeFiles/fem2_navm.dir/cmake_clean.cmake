@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_navm.dir/parops.cpp.o"
+  "CMakeFiles/fem2_navm.dir/parops.cpp.o.d"
+  "CMakeFiles/fem2_navm.dir/runtime.cpp.o"
+  "CMakeFiles/fem2_navm.dir/runtime.cpp.o.d"
+  "CMakeFiles/fem2_navm.dir/task.cpp.o"
+  "CMakeFiles/fem2_navm.dir/task.cpp.o.d"
+  "CMakeFiles/fem2_navm.dir/window.cpp.o"
+  "CMakeFiles/fem2_navm.dir/window.cpp.o.d"
+  "libfem2_navm.a"
+  "libfem2_navm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_navm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

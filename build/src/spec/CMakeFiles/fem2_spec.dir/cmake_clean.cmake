@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_spec.dir/layers.cpp.o"
+  "CMakeFiles/fem2_spec.dir/layers.cpp.o.d"
+  "CMakeFiles/fem2_spec.dir/reflect.cpp.o"
+  "CMakeFiles/fem2_spec.dir/reflect.cpp.o.d"
+  "CMakeFiles/fem2_spec.dir/transforms.cpp.o"
+  "CMakeFiles/fem2_spec.dir/transforms.cpp.o.d"
+  "libfem2_spec.a"
+  "libfem2_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfem2_spec.a"
+)

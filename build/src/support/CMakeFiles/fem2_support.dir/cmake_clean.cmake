@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_support.dir/check.cpp.o"
+  "CMakeFiles/fem2_support.dir/check.cpp.o.d"
+  "CMakeFiles/fem2_support.dir/rng.cpp.o"
+  "CMakeFiles/fem2_support.dir/rng.cpp.o.d"
+  "CMakeFiles/fem2_support.dir/stats.cpp.o"
+  "CMakeFiles/fem2_support.dir/stats.cpp.o.d"
+  "CMakeFiles/fem2_support.dir/strings.cpp.o"
+  "CMakeFiles/fem2_support.dir/strings.cpp.o.d"
+  "CMakeFiles/fem2_support.dir/table.cpp.o"
+  "CMakeFiles/fem2_support.dir/table.cpp.o.d"
+  "libfem2_support.a"
+  "libfem2_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysvm/heap.cpp" "src/sysvm/CMakeFiles/fem2_sysvm.dir/heap.cpp.o" "gcc" "src/sysvm/CMakeFiles/fem2_sysvm.dir/heap.cpp.o.d"
+  "/root/repo/src/sysvm/message.cpp" "src/sysvm/CMakeFiles/fem2_sysvm.dir/message.cpp.o" "gcc" "src/sysvm/CMakeFiles/fem2_sysvm.dir/message.cpp.o.d"
+  "/root/repo/src/sysvm/os.cpp" "src/sysvm/CMakeFiles/fem2_sysvm.dir/os.cpp.o" "gcc" "src/sysvm/CMakeFiles/fem2_sysvm.dir/os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/fem2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fem2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem2_sysvm.dir/heap.cpp.o"
+  "CMakeFiles/fem2_sysvm.dir/heap.cpp.o.d"
+  "CMakeFiles/fem2_sysvm.dir/message.cpp.o"
+  "CMakeFiles/fem2_sysvm.dir/message.cpp.o.d"
+  "CMakeFiles/fem2_sysvm.dir/os.cpp.o"
+  "CMakeFiles/fem2_sysvm.dir/os.cpp.o.d"
+  "libfem2_sysvm.a"
+  "libfem2_sysvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem2_sysvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

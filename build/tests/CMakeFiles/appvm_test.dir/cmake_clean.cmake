@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appvm_test.dir/appvm_test.cpp.o"
+  "CMakeFiles/appvm_test.dir/appvm_test.cpp.o.d"
+  "appvm_test"
+  "appvm_test.pdb"
+  "appvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem1_test.dir/fem1_test.cpp.o"
+  "CMakeFiles/fem1_test.dir/fem1_test.cpp.o.d"
+  "fem1_test"
+  "fem1_test.pdb"
+  "fem1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fem1_test.
+# This may be replaced when dependencies are built.

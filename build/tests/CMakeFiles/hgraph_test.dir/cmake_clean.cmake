@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgraph_test.dir/hgraph_test.cpp.o"
+  "CMakeFiles/hgraph_test.dir/hgraph_test.cpp.o.d"
+  "hgraph_test"
+  "hgraph_test.pdb"
+  "hgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navm_smoke_test.dir/navm_smoke_test.cpp.o"
+  "CMakeFiles/navm_smoke_test.dir/navm_smoke_test.cpp.o.d"
+  "navm_smoke_test"
+  "navm_smoke_test.pdb"
+  "navm_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navm_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navm_test.dir/navm_test.cpp.o"
+  "CMakeFiles/navm_test.dir/navm_test.cpp.o.d"
+  "navm_test"
+  "navm_test.pdb"
+  "navm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

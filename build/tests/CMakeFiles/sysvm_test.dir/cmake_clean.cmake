@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysvm_test.dir/sysvm_test.cpp.o"
+  "CMakeFiles/sysvm_test.dir/sysvm_test.cpp.o.d"
+  "sysvm_test"
+  "sysvm_test.pdb"
+  "sysvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

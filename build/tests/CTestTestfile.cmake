@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/navm_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/hgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/sysvm_test[1]_include.cmake")
+include("/root/repo/build/tests/navm_test[1]_include.cmake")
+include("/root/repo/build/tests/fem1_test[1]_include.cmake")
+include("/root/repo/build/tests/appvm_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamics_test[1]_include.cmake")
