@@ -1,5 +1,7 @@
 #include "fem/passembly.hpp"
 
+#include <algorithm>
+
 #include "fem/element.hpp"
 #include "navm/parops.hpp"
 #include "navm/task.hpp"
@@ -24,7 +26,11 @@ struct AssembleDriverParams {
 
 /// Worker result: raw triplets in *full* dof numbering (the driver applies
 /// the constraint elimination so workers stay independent of the DofMap).
+/// `element_begin` orders shards in the merge: child results arrive in a
+/// timing-dependent order (faults perturb it), and the downstream
+/// constraint elimination sums floating-point contributions in merge order.
 struct TripletShard {
+  std::size_t element_begin = 0;
   std::vector<la::Triplet> triplets;
 };
 
@@ -38,6 +44,7 @@ navm::Coro assemble_worker_body(navm::TaskContext& ctx) {
   const std::size_t ndof = p.model.dofs_per_node();
 
   TripletShard shard;
+  shard.element_begin = p.element_begin;
   std::uint64_t flops = 0;
   for (std::size_t e = p.element_begin; e < p.element_end; ++e) {
     const Element& element = p.model.elements[e];
@@ -78,11 +85,20 @@ navm::Coro assemble_driver_body(navm::TaskContext& ctx) {
                                   p.model.storage_bytes() + 32);
       });
 
+  // Merge in element order, not child-arrival order, so the assembled
+  // triplet stream (and every floating-point sum built from it) is
+  // identical however worker terminations interleave.
+  std::vector<const TripletShard*> shards;
+  shards.reserve(results.size());
+  for (const auto& r : results) shards.push_back(&r.as<TripletShard>());
+  std::sort(shards.begin(), shards.end(),
+            [](const TripletShard* a, const TripletShard* b) {
+              return a->element_begin < b->element_begin;
+            });
   AssembledPayload merged;
-  for (const auto& r : results) {
-    const auto& shard = r.as<TripletShard>();
-    merged.triplets.insert(merged.triplets.end(), shard.triplets.begin(),
-                           shard.triplets.end());
+  for (const TripletShard* shard : shards) {
+    merged.triplets.insert(merged.triplets.end(), shard->triplets.begin(),
+                           shard->triplets.end());
   }
   ctx.charge_words(merged.triplets.size() * 3);  // the merge pass
   const std::size_t bytes =

@@ -59,6 +59,15 @@ struct MachineConfig {
   bool model_memory_contention = true;
   double memory_cycles_per_byte = 0.25;
 
+  // --- fault model ---------------------------------------------------------
+  /// Seed for the network's packet-loss lottery (deterministic; intra-cluster
+  /// shared-memory handoffs never drop).
+  std::uint64_t network_seed = 0x5eedfa17ULL;
+
+  /// Default drop probability applied to every inter-cluster link.
+  /// Per-link overrides and severed links are set on the Machine.
+  double network_drop_probability = 0.0;
+
   std::size_t total_pes() const { return clusters * pes_per_cluster; }
 };
 

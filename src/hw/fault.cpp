@@ -1,0 +1,173 @@
+#include "hw/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hw/machine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace fem2::hw {
+
+FaultPlan& FaultPlan::fail_pe(Cycles at, ClusterId cluster, std::uint32_t pe) {
+  actions_.push_back({FaultAction::Kind::FailPe, at, cluster, pe, {}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_pe(Cycles at, ClusterId cluster,
+                                 std::uint32_t pe) {
+  actions_.push_back({FaultAction::Kind::RestorePe, at, cluster, pe, {}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_cluster(Cycles at, ClusterId cluster) {
+  actions_.push_back(
+      {FaultAction::Kind::FailCluster, at, cluster, 0, {}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_link(Cycles at, ClusterId src, ClusterId dst) {
+  actions_.push_back({FaultAction::Kind::FailLink, at, src, 0, dst, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_link(Cycles at, ClusterId src, ClusterId dst) {
+  actions_.push_back({FaultAction::Kind::RestoreLink, at, src, 0, dst, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_drop_probability(Cycles at, double p) {
+  actions_.push_back(
+      {FaultAction::Kind::SetDropProbability, at, {}, 0, {}, p});
+  return *this;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const auto& a : actions_) {
+    os << "@" << a.at << " ";
+    switch (a.kind) {
+      case FaultAction::Kind::FailPe:
+        os << "fail-pe c" << a.cluster.index << "p" << a.pe;
+        break;
+      case FaultAction::Kind::RestorePe:
+        os << "restore-pe c" << a.cluster.index << "p" << a.pe;
+        break;
+      case FaultAction::Kind::FailCluster:
+        os << "fail-cluster c" << a.cluster.index;
+        break;
+      case FaultAction::Kind::FailLink:
+        os << "fail-link c" << a.cluster.index << "->c" << a.peer.index;
+        break;
+      case FaultAction::Kind::RestoreLink:
+        os << "restore-link c" << a.cluster.index << "->c" << a.peer.index;
+        break;
+      case FaultAction::Kind::SetDropProbability:
+        os << "set-drop-probability " << a.probability;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::randomized(const MachineConfig& config,
+                                const ChaosSpec& spec, std::uint64_t seed) {
+  FEM2_CHECK_MSG(spec.cluster_kills < config.clusters,
+                 "chaos plan must leave at least one cluster alive");
+  FEM2_CHECK(spec.window_end > spec.window_begin);
+  support::Rng rng(seed);
+  FaultPlan plan;
+
+  auto draw_time = [&] {
+    return spec.window_begin +
+           static_cast<Cycles>(rng.next_below(
+               spec.window_end - spec.window_begin));
+  };
+
+  if (spec.drop_probability > 0.0) {
+    plan.set_drop_probability(spec.window_begin, spec.drop_probability);
+  }
+
+  // Pick the doomed clusters first so PE kills can avoid them.
+  std::vector<std::uint32_t> order(config.clusters);
+  for (std::uint32_t c = 0; c < config.clusters; ++c) order[c] = c;
+  rng.shuffle(order);
+  std::vector<bool> doomed(config.clusters, false);
+  for (std::size_t i = 0; i < spec.cluster_kills; ++i) {
+    doomed[order[i]] = true;
+    plan.fail_cluster(draw_time(), ClusterId{order[i]});
+  }
+
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t c = 0; c < config.clusters; ++c)
+    if (!doomed[c]) survivors.push_back(c);
+
+  for (std::size_t i = 0; i < spec.pe_kills; ++i) {
+    const auto c = survivors[rng.next_below(survivors.size())];
+    // Spare PE 0 so a PE kill can never silently become a cluster kill on a
+    // small cluster; whole-cluster loss is controlled by cluster_kills.
+    if (config.pes_per_cluster < 2) continue;
+    const auto pe = 1 + static_cast<std::uint32_t>(
+                            rng.next_below(config.pes_per_cluster - 1));
+    plan.fail_pe(draw_time(), ClusterId{c}, pe);
+  }
+
+  for (std::size_t i = 0; i < spec.link_cuts && config.clusters > 1; ++i) {
+    const auto src = static_cast<std::uint32_t>(
+        rng.next_below(config.clusters));
+    auto dst = static_cast<std::uint32_t>(
+        rng.next_below(config.clusters - 1));
+    if (dst >= src) ++dst;
+    const auto cut = draw_time();
+    plan.fail_link(cut, ClusterId{src}, ClusterId{dst});
+    // Heal the cut later in the window so reliable transport can recover.
+    plan.restore_link(cut + (spec.window_end - cut) / 2, ClusterId{src},
+                      ClusterId{dst});
+  }
+
+  std::stable_sort(plan.actions_.begin(), plan.actions_.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FaultInjector::FaultInjector(Machine& machine, FaultPlan plan)
+    : machine_(machine), plan_(std::move(plan)) {}
+
+void FaultInjector::arm() {
+  FEM2_CHECK_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  for (const auto& action : plan_.actions()) {
+    machine_.engine().schedule_at(
+        std::max(action.at, machine_.now()),
+        [this, &action] { apply(action); });
+  }
+}
+
+void FaultInjector::apply(const FaultAction& action) {
+  fired_ += 1;
+  switch (action.kind) {
+    case FaultAction::Kind::FailPe:
+      machine_.fail_pe({action.cluster, action.pe});
+      break;
+    case FaultAction::Kind::RestorePe:
+      machine_.restore_pe({action.cluster, action.pe});
+      break;
+    case FaultAction::Kind::FailCluster:
+      machine_.fail_cluster(action.cluster);
+      break;
+    case FaultAction::Kind::FailLink:
+      machine_.fail_link(action.cluster, action.peer);
+      break;
+    case FaultAction::Kind::RestoreLink:
+      machine_.restore_link(action.cluster, action.peer);
+      break;
+    case FaultAction::Kind::SetDropProbability:
+      machine_.set_drop_probability(action.probability);
+      break;
+  }
+}
+
+}  // namespace fem2::hw

@@ -1,0 +1,101 @@
+// Deterministic fault injection for the machine simulator.
+//
+// A FaultPlan is a declarative list of timed fault actions (PE kills,
+// cluster kills, link severs/repairs, drop-probability changes).  The
+// FaultInjector schedules them on the machine's event engine, so a chaos
+// run is exactly as reproducible as a fault-free one: same plan, same
+// seed, same event ordering, same result.
+//
+// Plans are either hand-built (add_* helpers) or derived from a seeded
+// ChaosSpec via FaultPlan::randomized, which guarantees at least one
+// cluster survives every plan it generates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace fem2::hw {
+
+class Machine;
+
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    FailPe,
+    RestorePe,
+    FailCluster,
+    FailLink,
+    RestoreLink,
+    SetDropProbability,  ///< all links; `probability` field
+  };
+
+  Kind kind = Kind::FailPe;
+  Cycles at = 0;          ///< absolute virtual time
+  ClusterId cluster;      ///< target cluster (or link source)
+  std::uint32_t pe = 0;   ///< PE index (FailPe/RestorePe)
+  ClusterId peer;         ///< link destination (FailLink/RestoreLink)
+  double probability = 0.0;
+};
+
+/// Bounds for FaultPlan::randomized.  Times are drawn uniformly from
+/// [window_begin, window_end).
+struct ChaosSpec {
+  Cycles window_begin = 0;
+  Cycles window_end = 1;
+  std::size_t pe_kills = 0;
+  std::size_t cluster_kills = 0;
+  std::size_t link_cuts = 0;
+  double drop_probability = 0.0;  ///< applied to all links at window_begin
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& fail_pe(Cycles at, ClusterId cluster, std::uint32_t pe);
+  FaultPlan& restore_pe(Cycles at, ClusterId cluster, std::uint32_t pe);
+  FaultPlan& fail_cluster(Cycles at, ClusterId cluster);
+  FaultPlan& fail_link(Cycles at, ClusterId src, ClusterId dst);
+  FaultPlan& restore_link(Cycles at, ClusterId src, ClusterId dst);
+  FaultPlan& set_drop_probability(Cycles at, double p);
+
+  const std::vector<FaultAction>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+  std::size_t size() const { return actions_.size(); }
+
+  /// One line per action, for logging chaos-test reproductions.
+  std::string describe() const;
+
+  /// Derive a plan from `spec` with a deterministic seed.  Cluster kills
+  /// always leave at least one cluster standing, and PE kills avoid
+  /// clusters already scheduled to die (so the requested counts are
+  /// meaningful).  Requires spec.cluster_kills < config.clusters.
+  static FaultPlan randomized(const MachineConfig& config,
+                              const ChaosSpec& spec, std::uint64_t seed);
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+/// Binds a plan to a machine: arm() schedules every action on the engine.
+/// The injector must outlive the run (the scheduled closures reference it).
+class FaultInjector {
+ public:
+  FaultInjector(Machine& machine, FaultPlan plan);
+
+  /// Schedule all actions.  Call once, before (or during) the run.
+  void arm();
+
+  std::size_t fired() const { return fired_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultAction& action);
+
+  Machine& machine_;
+  FaultPlan plan_;
+  std::size_t fired_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace fem2::hw

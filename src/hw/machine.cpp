@@ -4,12 +4,15 @@
 
 namespace fem2::hw {
 
-Machine::Machine(const MachineConfig& config) : config_(config) {
+Machine::Machine(const MachineConfig& config)
+    : config_(config), net_rng_(config.network_seed) {
   FEM2_CHECK_MSG(config_.clusters > 0, "machine needs at least one cluster");
   FEM2_CHECK_MSG(config_.pes_per_cluster > 0,
                  "machine needs at least one PE per cluster");
   pes_.resize(config_.total_pes());
   clusters_.resize(config_.clusters);
+  links_.resize(config_.clusters * config_.clusters);
+  for (auto& l : links_) l.drop_probability = config_.network_drop_probability;
   metrics_.pes.resize(config_.total_pes());
   metrics_.clusters.resize(config_.clusters);
   metrics_.network.clusters = config_.clusters;
@@ -48,6 +51,17 @@ void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
   metrics_.network
       .traffic_matrix[src.index * config_.clusters + dst.index] += 1;
 
+  if (src != dst) {
+    // Lossy / severable network: intra-cluster handoffs go through shared
+    // memory and never drop; inter-cluster packets face the link lottery.
+    auto& l = link(src, dst);
+    if (l.severed || (l.drop_probability > 0.0 &&
+                      net_rng_.chance(l.drop_probability))) {
+      drop_packet(src, dst, bytes);
+      return;
+    }
+  }
+
   Cycles deliver_at;
   if (src == dst) {
     metrics_.network.local_messages += 1;
@@ -84,8 +98,14 @@ void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
   }
   Packet packet{src, dst, bytes, std::move(payload)};
   engine_.schedule_at(
-      deliver_at, [this, dst, bytes, packet = std::move(packet)]() mutable {
+      deliver_at, [this, src, dst, bytes, packet = std::move(packet)]() mutable {
         auto& cl = clusters_[dst.index];
+        if (cl.lost) {
+          // Nobody is home: the packet evaporates at the dead cluster's
+          // network interface.
+          drop_packet(src, dst, bytes);
+          return;
+        }
         cl.queue.push_back(std::move(packet));
         auto& cm = metrics_.clusters[dst.index];
         cm.packets_in += 1;
@@ -231,6 +251,10 @@ void Machine::fail_pe(PeId pe) {
     tracer_->record({now(), TraceKind::PeFailed, pe.cluster, pe.index, 0});
   }
   if (was_busy && work_lost_) work_lost_(pe.cluster);
+  if (alive_pes(pe.cluster) == 0) {
+    handle_cluster_death(pe.cluster);
+    return;
+  }
   // Isolating the fault may promote a new kernel PE; wake the service so it
   // can continue fielding messages.
   notify_service(pe.cluster);
@@ -242,10 +266,112 @@ void Machine::restore_pe(PeId pe) {
   s.state = PeState::Idle;
   s.generation += 1;
   failed_count_ -= 1;
+  auto& cl = clusters_[pe.cluster.index];
+  if (cl.lost) {
+    // The cluster comes back as a blank node: empty queue, empty memory.
+    cl.lost = false;
+    failed_clusters_ -= 1;
+  }
   notify_service(pe.cluster);
 }
 
 std::size_t Machine::failed_pe_count() const { return failed_count_; }
+
+void Machine::fail_cluster(ClusterId cluster) {
+  check_cluster(cluster);
+  if (clusters_[cluster.index].lost) return;
+  for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
+    const PeId pe{cluster, i};
+    auto& s = slot(pe);
+    if (s.state == PeState::Failed) continue;
+    const bool was_busy = s.state == PeState::Busy;
+    s.state = PeState::Failed;
+    s.generation += 1;
+    failed_count_ += 1;
+    if (tracer_ != nullptr) {
+      tracer_->record({now(), TraceKind::PeFailed, cluster, i, 0});
+    }
+    if (was_busy && work_lost_) work_lost_(cluster);
+  }
+  handle_cluster_death(cluster);
+}
+
+void Machine::handle_cluster_death(ClusterId cluster) {
+  auto& cl = clusters_[cluster.index];
+  if (cl.lost) return;
+  cl.lost = true;
+  failed_clusters_ += 1;
+  // Purge everything that lived in the cluster: undecoded input packets and
+  // the shared memory's contents die with the hardware.
+  for (const auto& p : cl.queue) drop_packet(p.source, cluster, p.bytes);
+  cl.queue.clear();
+  cl.memory_in_use = 0;
+  metrics_.clusters[cluster.index].memory_in_use = 0;
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::ClusterFailed, cluster, 0xffffffffu, 0});
+  }
+  if (cluster_lost_) cluster_lost_(cluster);
+}
+
+bool Machine::cluster_alive(ClusterId cluster) const {
+  check_cluster(cluster);
+  return !clusters_[cluster.index].lost && alive_pes(cluster) > 0;
+}
+
+std::size_t Machine::alive_clusters() const {
+  std::size_t n = 0;
+  for (std::uint32_t c = 0; c < config_.clusters; ++c)
+    if (cluster_alive(ClusterId{c})) ++n;
+  return n;
+}
+
+std::size_t Machine::failed_cluster_count() const { return failed_clusters_; }
+
+Machine::LinkSlot& Machine::link(ClusterId src, ClusterId dst) {
+  check_cluster(src);
+  check_cluster(dst);
+  return links_[src.index * config_.clusters + dst.index];
+}
+
+const Machine::LinkSlot& Machine::link(ClusterId src, ClusterId dst) const {
+  check_cluster(src);
+  check_cluster(dst);
+  return links_[src.index * config_.clusters + dst.index];
+}
+
+void Machine::set_drop_probability(double p) {
+  FEM2_CHECK_MSG(p >= 0.0 && p < 1.0, "drop probability must be in [0, 1)");
+  for (auto& l : links_) l.drop_probability = p;
+}
+
+void Machine::set_link_drop_probability(ClusterId src, ClusterId dst,
+                                        double p) {
+  FEM2_CHECK_MSG(p >= 0.0 && p < 1.0, "drop probability must be in [0, 1)");
+  link(src, dst).drop_probability = p;
+}
+
+void Machine::fail_link(ClusterId src, ClusterId dst) {
+  link(src, dst).severed = true;
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::LinkFailed, dst, src.index, 0});
+  }
+}
+
+void Machine::restore_link(ClusterId src, ClusterId dst) {
+  link(src, dst).severed = false;
+}
+
+bool Machine::link_severed(ClusterId src, ClusterId dst) const {
+  return link(src, dst).severed;
+}
+
+void Machine::drop_packet(ClusterId src, ClusterId dst, std::size_t bytes) {
+  metrics_.network.dropped_messages += 1;
+  metrics_.network.dropped_bytes += bytes;
+  if (tracer_ != nullptr) {
+    tracer_->record({now(), TraceKind::MessageDropped, dst, src.index, bytes});
+  }
+}
 
 void Machine::allocate(ClusterId cluster, std::size_t bytes) {
   check_cluster(cluster);

@@ -22,6 +22,7 @@
 #include "hw/metrics.hpp"
 #include "hw/trace.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace fem2::hw {
 
@@ -72,6 +73,15 @@ class Machine {
   using WorkLostHandler = std::function<void(ClusterId)>;
   void set_work_lost_handler(WorkLostHandler handler);
 
+  /// Invoked once when a cluster's last alive PE fails (via fail_cluster or
+  /// a sequence of fail_pe calls).  The cluster's input queue and shared
+  /// memory are already purged when the handler runs; the OS layer uses it
+  /// to relocate the tasks that lived there.
+  using ClusterLostHandler = std::function<void(ClusterId)>;
+  void set_cluster_lost_handler(ClusterLostHandler handler) {
+    cluster_lost_ = std::move(handler);
+  }
+
   // --- processing elements ---------------------------------------------
   /// The PE currently running the OS kernel in this cluster: the
   /// lowest-index alive PE.  Invalid id if the whole cluster has failed.
@@ -102,6 +112,23 @@ class Machine {
   void restore_pe(PeId pe);
   std::size_t failed_pe_count() const;
 
+  /// Fail every PE of a cluster at once, purge its input queue and shared
+  /// memory, and fire the cluster-lost handler.  Idempotent.
+  void fail_cluster(ClusterId cluster);
+  bool cluster_alive(ClusterId cluster) const;
+  std::size_t alive_clusters() const;
+  std::size_t failed_cluster_count() const;
+
+  // --- lossy / severable inter-cluster network ---------------------------
+  /// Set the drop probability of every inter-cluster link (0 disables).
+  void set_drop_probability(double p);
+  /// Per-link override (src→dst direction only).
+  void set_link_drop_probability(ClusterId src, ClusterId dst, double p);
+  /// Sever / repair one directed link.  A severed link drops everything.
+  void fail_link(ClusterId src, ClusterId dst);
+  void restore_link(ClusterId src, ClusterId dst);
+  bool link_severed(ClusterId src, ClusterId dst) const;
+
   // --- shared memory ------------------------------------------------------
   /// Throws OutOfMemory if the cluster's capacity would be exceeded.
   void allocate(ClusterId cluster, std::size_t bytes);
@@ -130,6 +157,12 @@ class Machine {
     Cycles channel_free_at = 0;  ///< inbound network channel serialization
     Cycles memory_port_free_at = 0;  ///< shared-memory port serialization
     std::size_t memory_in_use = 0;
+    bool lost = false;  ///< cluster-lost handler already fired
+  };
+
+  struct LinkSlot {
+    double drop_probability = 0.0;
+    bool severed = false;
   };
 
   PeSlot& slot(PeId pe);
@@ -137,16 +170,25 @@ class Machine {
   std::size_t pe_flat_index(PeId pe) const;
   void notify_service(ClusterId cluster);
   void check_cluster(ClusterId cluster) const;
+  LinkSlot& link(ClusterId src, ClusterId dst);
+  const LinkSlot& link(ClusterId src, ClusterId dst) const;
+  /// Fires the cluster-lost handler once alive_pes drops to zero.
+  void handle_cluster_death(ClusterId cluster);
+  void drop_packet(ClusterId src, ClusterId dst, std::size_t bytes);
 
   MachineConfig config_;
   Engine engine_;
   std::vector<PeSlot> pes_;
   std::vector<ClusterSlot> clusters_;
+  std::vector<LinkSlot> links_;  ///< row-major src×dst, inter-cluster only
   ClusterService service_;
   WorkLostHandler work_lost_;
+  ClusterLostHandler cluster_lost_;
   MachineMetrics metrics_;
   Tracer* tracer_ = nullptr;
   std::size_t failed_count_ = 0;
+  std::size_t failed_clusters_ = 0;
+  support::Rng net_rng_;
 };
 
 }  // namespace fem2::hw

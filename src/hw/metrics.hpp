@@ -35,6 +35,12 @@ struct NetworkMetrics {
   std::uint64_t local_bytes = 0;
   Cycles memory_port_busy_cycles = 0;  ///< shared-memory port serialization
 
+  // Fault model: packets lost to the lossy/severed network or to failed
+  // destination clusters.  Dropped packets still count in packets_out /
+  // traffic_matrix (the source paid for the send).
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t dropped_bytes = 0;
+
   /// Source×destination message counts (row-major, clusters²) — the
   /// communication pattern the paper's simulations were to measure.
   std::vector<std::uint64_t> traffic_matrix;

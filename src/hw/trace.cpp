@@ -11,10 +11,13 @@ std::string_view trace_kind_name(TraceKind k) {
   switch (k) {
     case TraceKind::MessageSent: return "message-sent";
     case TraceKind::MessageDelivered: return "message-delivered";
+    case TraceKind::MessageDropped: return "message-dropped";
     case TraceKind::WorkStarted: return "work-started";
     case TraceKind::WorkFinished: return "work-finished";
     case TraceKind::PeFailed: return "pe-failed";
     case TraceKind::PeRestored: return "pe-restored";
+    case TraceKind::ClusterFailed: return "cluster-failed";
+    case TraceKind::LinkFailed: return "link-failed";
   }
   FEM2_UNREACHABLE("bad TraceKind");
 }

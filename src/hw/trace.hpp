@@ -19,10 +19,13 @@ namespace fem2::hw {
 enum class TraceKind : std::uint8_t {
   MessageSent,
   MessageDelivered,
+  MessageDropped,  ///< lost to a lossy/severed link or dead cluster
   WorkStarted,   ///< PE begins a busy interval
   WorkFinished,  ///< busy interval ends
   PeFailed,
   PeRestored,
+  ClusterFailed,
+  LinkFailed,
 };
 
 std::string_view trace_kind_name(TraceKind k);

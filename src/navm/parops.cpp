@@ -89,6 +89,27 @@ struct CgHello {
   double rr_local = 0.0;
 };
 
+/// Scalar reduction contribution, tagged with the worker index so the
+/// driver can sum in index order.  Collector deposits arrive in an order
+/// that depends on timing (and on faults); floating-point addition is not
+/// associative, so arrival-order sums would make a faulted run diverge
+/// bitwise from a fault-free one.
+struct CgPart {
+  std::uint32_t index = 0;
+  double value = 0.0;
+};
+
+double sum_indexed(const std::vector<sysvm::Payload>& parts) {
+  std::vector<CgPart> ps;
+  ps.reserve(parts.size());
+  for (const auto& part : parts) ps.push_back(part.as<CgPart>());
+  std::sort(ps.begin(), ps.end(),
+            [](const CgPart& a, const CgPart& b) { return a.index < b.index; });
+  double sum = 0.0;
+  for (const auto& p : ps) sum += p.value;
+  return sum;
+}
+
 struct CgSetupDatum {
   std::vector<Window> p_windows;  ///< ordered by row0
   std::vector<std::size_t> row0;
@@ -180,11 +201,17 @@ Coro cg_worker_body(TaskContext& ctx) {
     any = true;
   }
 
+  // Deposits carry a per-worker monotonic token: if cluster-loss recovery
+  // re-initiates this worker, replayed deposits are deduplicated by the
+  // collector instead of double counting.
+  std::uint64_t deposit_token = 0;
+
   const double rr_local = local_dot(ctx, r, r);
   co_await ctx.deposit(
       wp.driver_cluster, wp.collector,
       sysvm::Payload::of(CgHello{p_window, wp.row0, len, rr_local},
-                         Window::kDescriptorBytes + 24));
+                         Window::kDescriptorBytes + 24),
+      ++deposit_token);
   const sysvm::Payload setup_payload = co_await ctx.pause();
   const auto& setup = setup_payload.as<CgSetupDatum>();
 
@@ -227,7 +254,9 @@ Coro cg_worker_body(TaskContext& ctx) {
 
     // --- alpha round -------------------------------------------------------
     const double pq = local_dot(ctx, p_local, q);
-    co_await ctx.deposit(wp.driver_cluster, wp.collector, payload_real(pq));
+    co_await ctx.deposit(wp.driver_cluster, wp.collector,
+                         sysvm::Payload::of(CgPart{wp.index, pq}, 16),
+                         ++deposit_token);
     const double alpha = as_real(co_await ctx.pause());
 
     ctx.charge_flops(4 * len);
@@ -238,7 +267,9 @@ Coro cg_worker_body(TaskContext& ctx) {
 
     // --- beta / convergence round -----------------------------------------
     const double rr = local_dot(ctx, r, r);
-    co_await ctx.deposit(wp.driver_cluster, wp.collector, payload_real(rr));
+    co_await ctx.deposit(wp.driver_cluster, wp.collector,
+                         sysvm::Payload::of(CgPart{wp.index, rr}, 16),
+                         ++deposit_token);
     const sysvm::Payload beta_payload = co_await ctx.pause();
     const auto& control = beta_payload.as<CgBetaDatum>();
     done = control.done;
@@ -249,7 +280,8 @@ Coro cg_worker_body(TaskContext& ctx) {
     for (std::size_t i = 0; i < len; ++i)
       p_local[i] = r[i] + control.beta * p_local[i];
     co_await ctx.write(p_window, p_local);
-    co_await ctx.deposit(wp.driver_cluster, wp.collector, sysvm::Payload{});
+    co_await ctx.deposit(wp.driver_cluster, wp.collector, sysvm::Payload{},
+                         ++deposit_token);
     (void)co_await ctx.pause();  // go
   }
 
@@ -307,13 +339,12 @@ Coro cg_driver_body(TaskContext& ctx) {
   {
     std::vector<CgHello> hs;
     hs.reserve(k);
-    double bnorm2 = 0.0;
-    for (const auto& h : hellos) {
-      hs.push_back(h.as<CgHello>());
-      bnorm2 += hs.back().rr_local;
-    }
+    for (const auto& h : hellos) hs.push_back(h.as<CgHello>());
     std::sort(hs.begin(), hs.end(),
               [](const CgHello& a, const CgHello& b) { return a.row0 < b.row0; });
+    // Sum in shard order, not arrival order (bitwise reproducibility).
+    double bnorm2 = 0.0;
+    for (const auto& h : hs) bnorm2 += h.rr_local;
     for (const auto& h : hs) {
       setup.p_windows.push_back(h.p_window);
       setup.row0.push_back(h.row0);
@@ -343,16 +374,14 @@ Coro cg_driver_body(TaskContext& ctx) {
     while (!done) {
       // alpha round
       auto pq_parts = co_await ctx.collect(collector);
-      double pq = 0.0;
-      for (const auto& part : pq_parts) pq += as_real(part);
+      const double pq = sum_indexed(pq_parts);
       ctx.charge_flops(k + 2);
       const double alpha = pq != 0.0 ? rr / pq : 0.0;
       ctx.broadcast(children, payload_real(alpha));
 
       // beta / convergence round
       auto rr_parts = co_await ctx.collect(collector);
-      double rr_new = 0.0;
-      for (const auto& part : rr_parts) rr_new += as_real(part);
+      const double rr_new = sum_indexed(rr_parts);
       ctx.charge_flops(k + 4);
       ++iteration;
       residual = std::sqrt(rr_new) / bnorm;

@@ -2,7 +2,20 @@
 
 namespace fem2::navm {
 
-Runtime::Runtime(sysvm::Os& os) : os_(os) { register_builtin_procedures(); }
+Runtime::Runtime(sysvm::Os& os) : os_(os) {
+  register_builtin_procedures();
+  // Cluster-loss recovery reaps tasks before re-initiating them; their
+  // arrays and collectors die with them ("data lifetime - lifetime of owner
+  // task").  The re-initiated incarnation recreates what it needs.
+  os_.set_task_reaper([this](sysvm::TaskId task) { purge_owned_by(task); });
+}
+
+void Runtime::purge_owned_by(sysvm::TaskId task) {
+  std::erase_if(arrays_,
+                [task](const auto& kv) { return kv.second.owner == task; });
+  std::erase_if(collectors_,
+                [task](const auto& kv) { return kv.second.owner == task; });
+}
 
 void Runtime::define_task(const std::string& name, TaskBody body,
                           TaskOptions options) {
@@ -35,6 +48,9 @@ Window Runtime::create_array(TaskContext& ctx, std::size_t rows,
   // Simulated storage: charged to the creating task's heap, freed with it.
   ctx.api().heap_allocate(n * sizeof(double));
   ctx.charge_words(n);  // initialization store
+  // The array registry is global state pinned to this cluster: relocating
+  // the owner alone would strand it, so the owner recovers via tree restart.
+  ctx.api().mark_side_effect();
 
   ArrayInfo info;
   info.id = next_array_++;
@@ -50,10 +66,21 @@ Window Runtime::create_array(TaskContext& ctx, std::size_t rows,
 
 const Runtime::ArrayInfo& Runtime::array_info(ArrayId id) const {
   const auto it = arrays_.find(id);
-  FEM2_CHECK_MSG(it != arrays_.end(), "unknown array id");
+  if (it == arrays_.end()) {
+    throw support::Error(
+        "window refers to array " + std::to_string(id) +
+        " which no longer exists (its owner task was lost with its cluster "
+        "and reaped during recovery)");
+  }
   FEM2_CHECK_MSG(!os_.task_finished(it->second.owner),
                  "window refers to an array whose owner task terminated "
                  "(data lifetime is the owner's lifetime)");
+  if (!os_.machine().cluster_alive(it->second.cluster)) {
+    throw support::Error(
+        "window refers to array " + std::to_string(id) + " on cluster " +
+        std::to_string(it->second.cluster.index) +
+        ", which has failed; the data is unrecoverable");
+  }
   return it->second;
 }
 
@@ -141,7 +168,8 @@ void Runtime::register_builtin_procedures() {
       "navm.win.read", 128,
       [this](sysvm::ProcedureContext& ctx, const sysvm::Payload& args) {
         return procedure_window_read(ctx, args);
-      }});
+      },
+      /*idempotent=*/true});
   os_.register_procedure(sysvm::Procedure{
       "navm.win.write", 128,
       [this](sysvm::ProcedureContext& ctx, const sysvm::Payload& args) {
@@ -177,11 +205,24 @@ sysvm::Payload Runtime::procedure_collect(sysvm::ProcedureContext& ctx,
                                           const sysvm::Payload& args) {
   const auto& da = args.as<DepositArgs>();
   auto it = collectors_.find(da.collector);
-  FEM2_CHECK_MSG(it != collectors_.end(), "deposit into unknown collector");
+  if (it == collectors_.end()) {
+    // A deposit can outlive its collector when the collector's owner was
+    // reaped and restarted by cluster-loss recovery.  Dropping it (while
+    // still replying to the depositor) is the correct quiet outcome: the
+    // restarted owner makes a fresh collector with a fresh id.
+    ctx.charge_words(1);
+    return sysvm::Payload{};
+  }
   auto& c = it->second;
   FEM2_CHECK_MSG(c.cluster == ctx.cluster,
                  "deposit routed to the wrong cluster");
   ctx.charge_words(4);  // bookkeeping
+  if (da.token != 0 &&
+      !c.seen.emplace(da.depositor, da.token).second) {
+    // A re-initiated depositor replayed a deposit that was already
+    // accepted from its previous incarnation; count it once.
+    return sysvm::Payload{};
+  }
   c.items.push_back(da.value);
   if (c.items.size() >= c.expected && c.waiting_token != 0) {
     // Wake the waiting task with a local remote-return.

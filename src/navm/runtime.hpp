@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "navm/task.hpp"
@@ -22,9 +24,15 @@ struct WriteArgs {
   std::vector<double> data;
 };
 
-/// Arguments of the built-in "navm.collect" procedure.
+/// Arguments of the built-in "navm.collect" procedure.  `depositor` and
+/// `token` identify the deposit so re-initiated depositors (cluster-loss
+/// recovery can replay a task from its initiate parameters) cannot double
+/// count: a (depositor, token) pair is accepted at most once per collector.
+/// Token 0 opts out of deduplication.
 struct DepositArgs {
   std::uint64_t collector = 0;
+  sysvm::TaskId depositor = sysvm::kNoTask;
+  std::uint64_t token = 0;
   sysvm::Payload value;
 };
 
@@ -102,9 +110,14 @@ class Runtime {
     hw::ClusterId cluster;
     std::vector<sysvm::Payload> items;
     sysvm::CallToken waiting_token = 0;
+    /// Deposits already accepted, across auto-resets: a re-initiated
+    /// depositor replaying an old round must not fill a later round.
+    std::set<std::pair<sysvm::TaskId, std::uint64_t>> seen;
   };
 
   void register_builtin_procedures();
+  /// Task-reaper hook: drop arrays and collectors owned by a reaped task.
+  void purge_owned_by(sysvm::TaskId task);
   sysvm::Payload procedure_window_read(sysvm::ProcedureContext& ctx,
                                        const sysvm::Payload& args);
   sysvm::Payload procedure_window_write(sysvm::ProcedureContext& ctx,

@@ -62,6 +62,11 @@ bool TaskContext::WriteAwait::await_ready() {
   if (ctx.window_is_local(window)) {
     is_local = true;
     ctx.charge_words(window.elements());
+    // A store into another task's array escapes this task's lifetime: it
+    // cannot be undone by re-initiating the task, so the task is no longer
+    // individually relocatable after a cluster loss.
+    if (ctx.runtime().array_info(window.array).owner != ctx.self())
+      ctx.api_.mark_side_effect();
     ctx.runtime().scatter(window, data);
     return true;
   }
@@ -103,9 +108,10 @@ std::vector<sysvm::Payload> TaskContext::CollectAwait::await_resume() {
 
 TaskContext::CallAwait TaskContext::deposit(hw::ClusterId destination,
                                             std::uint64_t collector,
-                                            sysvm::Payload value) {
-  const std::size_t bytes = 16 + value.bytes;
-  DepositArgs args{collector, std::move(value)};
+                                            sysvm::Payload value,
+                                            std::uint64_t token) {
+  const std::size_t bytes = 32 + value.bytes;
+  DepositArgs args{collector, self(), token, std::move(value)};
   return call(destination, "navm.collect",
               sysvm::Payload::of(std::move(args), bytes));
 }

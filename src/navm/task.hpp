@@ -253,9 +253,12 @@ class TaskContext {
   CollectAwait collect(std::uint64_t collector) {
     return CollectAwait{*this, collector};
   }
-  /// Deposit into a collector owned by a task on `destination`.
+  /// Deposit into a collector owned by a task on `destination`.  A nonzero
+  /// `token` makes the deposit idempotent: the collector accepts each
+  /// (depositor, token) pair once, so a depositor re-initiated by
+  /// cluster-loss recovery cannot double count.
   CallAwait deposit(hw::ClusterId destination, std::uint64_t collector,
-                    sysvm::Payload value);
+                    sysvm::Payload value, std::uint64_t token = 0);
 
   // --- internals (used by CoroProgram / Runtime) ---------------------------
   sysvm::TaskApi& api() { return api_; }

@@ -45,8 +45,9 @@ struct Payload {
   const T& as() const {
     const T* p = std::any_cast<T>(&value);
     if (p == nullptr) {
-      throw support::Error(std::string("payload type mismatch: expected ") +
-                           typeid(T).name());
+      throw support::Error(
+          std::string("payload type mismatch: expected ") + typeid(T).name() +
+          ", got " + (value.has_value() ? value.type().name() : "<empty>"));
     }
     return *p;
   }
@@ -97,6 +98,10 @@ struct MsgRemoteCall {
   TaskId caller = kNoTask;
   CallToken token = 0;
   Payload args;
+  /// Incarnation of the caller at send time (stamped by the OS).  A call
+  /// whose caller was reaped and re-initiated by cluster-loss recovery is
+  /// stale and must not execute on the new incarnation's behalf.
+  std::uint64_t caller_epoch = 0;
 };
 
 /// "remote procedure return".

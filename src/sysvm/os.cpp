@@ -144,6 +144,8 @@ void TaskApi::heap_free(std::size_t address) {
   std::erase(rec.owned_heap_blocks, address);
 }
 
+void TaskApi::mark_side_effect() { os_.record(self_).restartable = false; }
+
 // ---------------------------------------------------------------------------
 // ProcedureContext
 
@@ -169,13 +171,13 @@ std::string_view task_state_name(TaskState s) {
   FEM2_UNREACHABLE("bad TaskState");
 }
 
-std::uint64_t OsMetrics::total_messages() const {
+std::uint64_t OsStats::total_messages() const {
   std::uint64_t total = 0;
   for (auto v : messages_sent) total += v;
   return total;
 }
 
-std::uint64_t OsMetrics::total_message_bytes() const {
+std::uint64_t OsStats::total_message_bytes() const {
   std::uint64_t total = 0;
   for (auto v : message_bytes_sent) total += v;
   return total;
@@ -189,6 +191,8 @@ Os::Os(hw::Machine& machine, OsOptions options)
     heaps_.emplace_back(machine_.memory_capacity(), options_.heap_policy);
   machine_.set_cluster_service([this](hw::ClusterId c) { service(c); });
   machine_.set_work_lost_handler([this](hw::ClusterId c) { on_work_lost(c); });
+  machine_.set_cluster_lost_handler(
+      [this](hw::ClusterId c) { on_cluster_lost(c); });
 }
 
 void Os::register_task_type(CodeBlock block) {
@@ -304,32 +308,49 @@ hw::ClusterId Os::choose_cluster(hw::ClusterId source) {
   // The chosen cluster's load is reserved immediately (not when the
   // initiate message travels), so a burst of initiations within one task
   // step spreads instead of piling onto the momentarily-least-loaded
-  // cluster.
+  // cluster.  Every policy places on live clusters only; a dead Local
+  // source falls back to least-loaded.
   switch (options_.placement) {
     case Placement::Local:
-      cluster_state(source).live_load += 1;
-      return source;
-    case Placement::RoundRobin: {
-      const auto idx = round_robin_++ % clusters_.size();
-      clusters_[idx].live_load += 1;
-      return hw::ClusterId{static_cast<std::uint32_t>(idx)};
-    }
-    case Placement::LeastLoaded: {
-      std::size_t best = 0;
-      std::size_t best_load = ~std::size_t{0};
-      for (std::size_t i = 0; i < clusters_.size(); ++i) {
-        const hw::ClusterId c{static_cast<std::uint32_t>(i)};
-        if (machine_.alive_pes(c) == 0) continue;  // isolate failed clusters
-        if (clusters_[i].live_load < best_load) {
-          best_load = clusters_[i].live_load;
-          best = i;
-        }
+      if (machine_.cluster_alive(source)) {
+        cluster_state(source).live_load += 1;
+        return source;
       }
-      clusters_[best].live_load += 1;
-      return hw::ClusterId{static_cast<std::uint32_t>(best)};
+      break;
+    case Placement::RoundRobin: {
+      for (std::size_t tries = 0; tries < clusters_.size(); ++tries) {
+        const auto idx = round_robin_++ % clusters_.size();
+        const hw::ClusterId c{static_cast<std::uint32_t>(idx)};
+        if (!machine_.cluster_alive(c)) continue;
+        clusters_[idx].live_load += 1;
+        return c;
+      }
+      throw support::Error("no alive clusters for task placement");
+    }
+    case Placement::LeastLoaded:
+      break;
+  }
+
+  std::size_t best = ~std::size_t{0};
+  std::size_t best_load = ~std::size_t{0};
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const hw::ClusterId c{static_cast<std::uint32_t>(i)};
+    if (!machine_.cluster_alive(c)) continue;  // isolate failed clusters
+    if (clusters_[i].live_load < best_load) {
+      best_load = clusters_[i].live_load;
+      best = i;
     }
   }
-  FEM2_UNREACHABLE("bad Placement");
+  if (best == ~std::size_t{0})
+    throw support::Error("no alive clusters for task placement");
+  clusters_[best].live_load += 1;
+  return hw::ClusterId{static_cast<std::uint32_t>(best)};
+}
+
+hw::ClusterId Os::first_alive_cluster() const {
+  for (std::uint32_t c = 0; c < machine_.cluster_count(); ++c)
+    if (machine_.cluster_alive(hw::ClusterId{c})) return hw::ClusterId{c};
+  throw support::Error("no alive clusters");
 }
 
 void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
@@ -350,11 +371,77 @@ void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
     }
   }
 
+  // Stamp remote calls with the caller's incarnation and remember where
+  // they went, so cluster-loss recovery can find stranded callers and the
+  // receiver can reject calls from reaped incarnations.
+  if (auto* call = std::get_if<MsgRemoteCall>(&message)) {
+    if (call->caller != kNoTask) {
+      const auto it = tasks_.find(call->caller);
+      if (it != tasks_.end()) call->caller_epoch = it->second.incarnation;
+      pending_calls_[call->token] = {call->caller, to, call->caller_epoch};
+    }
+  }
+
   const auto type_idx = static_cast<std::size_t>(message_type(message));
   const std::size_t bytes = message_bytes(message);
   metrics_.messages_sent[type_idx] += 1;
   metrics_.message_bytes_sent[type_idx] += bytes;
+
+  // Inter-cluster messages ride the reliable channel when enabled;
+  // intra-cluster handoffs go through shared memory and cannot drop.
+  if (options_.reliable_transport && from != to) {
+    auto& channel = send_channels_[ChannelKey{from.index, to.index}];
+    const std::uint64_t seq = channel.next_seq++;
+    auto [it, inserted] =
+        channel.unacked.emplace(seq, UnackedFrame{message, 0});
+    FEM2_CHECK(inserted);
+    transmit_frame(from, to, seq, it->second.message);
+    arm_retransmit(from, to, seq, 0);
+    return;
+  }
   machine_.send_packet(from, to, bytes, std::any(std::move(message)));
+}
+
+void Os::transmit_frame(hw::ClusterId from, hw::ClusterId to,
+                        std::uint64_t seq, const Message& message) {
+  Frame frame{Frame::Kind::Data, from.index, seq, message};
+  machine_.send_packet(from, to, message_bytes(message) + kFrameOverheadBytes,
+                       std::any(std::move(frame)));
+}
+
+void Os::send_ack(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
+  metrics_.acks_sent += 1;
+  Frame frame{Frame::Kind::Ack, from.index, seq, Message{MsgLoadCode{}}};
+  machine_.send_packet(from, to, kAckBytes, std::any(std::move(frame)));
+}
+
+void Os::arm_retransmit(hw::ClusterId from, hw::ClusterId to,
+                        std::uint64_t seq, std::size_t attempts) {
+  const hw::Cycles rto = options_.retransmit_timeout
+                         << std::min<std::size_t>(attempts, 6);
+  machine_.engine().schedule(rto,
+                             [this, from, to, seq] { retransmit(from, to, seq); });
+}
+
+void Os::retransmit(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
+  const auto cit = send_channels_.find(ChannelKey{from.index, to.index});
+  if (cit == send_channels_.end()) return;
+  const auto uit = cit->second.unacked.find(seq);
+  if (uit == cit->second.unacked.end()) return;  // acknowledged meanwhile
+  if (!machine_.cluster_alive(to)) return;  // recovery re-routes or drops
+  if (!machine_.cluster_alive(from)) return;  // channel died with its source
+  auto& unacked = uit->second;
+  unacked.attempts += 1;
+  if (unacked.attempts > options_.max_retransmits) {
+    throw support::Error(
+        "cluster " + std::to_string(to.index) + " unreachable from cluster " +
+        std::to_string(from.index) + ": frame " + std::to_string(seq) +
+        " unacknowledged after " + std::to_string(options_.max_retransmits) +
+        " retransmits");
+  }
+  metrics_.retransmissions += 1;
+  transmit_frame(from, to, seq, unacked.message);
+  arm_retransmit(from, to, seq, unacked.attempts);
 }
 
 void Os::service(hw::ClusterId cluster) {
@@ -385,8 +472,48 @@ void Os::dispatch_one(hw::ClusterId cluster) {
 }
 
 void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
-  Message message = std::any_cast<Message>(std::move(packet.payload));
-  const hw::ClusterId from = packet.source;
+  if (auto* frame = std::any_cast<Frame>(&packet.payload)) {
+    if (frame->kind == Frame::Kind::Ack) {
+      // We are the original sender: retire the acknowledged frame.
+      const auto cit =
+          send_channels_.find(ChannelKey{cluster.index, frame->src});
+      if (cit != send_channels_.end()) cit->second.unacked.erase(frame->seq);
+      return;
+    }
+
+    const hw::ClusterId src{frame->src};
+    auto& channel = recv_channels_[ChannelKey{frame->src, cluster.index}];
+    // Ack everything that arrives, including duplicates (the first ack may
+    // have been lost) and out-of-order frames (held, but received).
+    send_ack(cluster, src, frame->seq);
+    if (frame->seq < channel.next_expected ||
+        channel.held.contains(frame->seq)) {
+      metrics_.duplicates_dropped += 1;
+      return;
+    }
+    if (frame->seq > channel.next_expected) {
+      channel.held.emplace(frame->seq, std::move(frame->message));
+      return;
+    }
+    channel.next_expected += 1;
+    deliver(cluster, src, std::move(frame->message));
+    // Release any frames that arrived ahead of order behind this one.
+    for (auto held = channel.held.find(channel.next_expected);
+         held != channel.held.end();
+         held = channel.held.find(channel.next_expected)) {
+      Message next = std::move(held->second);
+      channel.held.erase(held);
+      channel.next_expected += 1;
+      deliver(cluster, src, std::move(next));
+    }
+    return;
+  }
+  deliver(cluster, packet.source,
+          std::any_cast<Message>(std::move(packet.payload)));
+}
+
+void Os::deliver(hw::ClusterId cluster, hw::ClusterId from,
+                 Message&& message) {
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -434,6 +561,19 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
   const auto& config = machine_.config();
 
   if (auto* proc_work = std::get_if<ProcWork>(&item)) {
+    // A call from a task that recovery reaped (or reaped and re-initiated
+    // under the same id) is stale: executing it would act on behalf of a
+    // task incarnation that no longer exists.
+    if (proc_work->call.caller != kNoTask) {
+      const auto cit = tasks_.find(proc_work->call.caller);
+      if (cit == tasks_.end() ||
+          (proc_work->call.caller_epoch != 0 &&
+           cit->second.incarnation != proc_work->call.caller_epoch)) {
+        metrics_.stale_messages_dropped += 1;
+        machine_.release_worker(pe);
+        return;
+      }
+    }
     if (!proc_work->executed) {
       const auto it = procedures_.find(proc_work->call.procedure);
       FEM2_CHECK_MSG(it != procedures_.end(),
@@ -467,7 +607,14 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
   }
 
   const TaskId task = std::get<TaskId>(item);
-  auto& rec = record(task);
+  const auto tit = tasks_.find(task);
+  if (tit == tasks_.end()) {
+    // Reaped by cluster-loss recovery while queued.
+    metrics_.stale_messages_dropped += 1;
+    machine_.release_worker(pe);
+    return;
+  }
+  auto& rec = tit->second;
   FEM2_CHECK_MSG(rec.state == TaskState::Ready,
                  "starting work on a task that is not ready");
   rec.state = TaskState::Running;
@@ -489,16 +636,37 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
   }
 
   running_[pe_key(config, pe)] = task;
-  machine_.occupy(pe, rec.step.cycles, [this, pe, task] {
+  const std::uint64_t incarnation = rec.incarnation;
+  machine_.occupy(pe, rec.step.cycles, [this, pe, task, incarnation] {
     running_.erase(pe_key(machine_.config(), pe));
-    complete_task_step(pe, task);
+    complete_task_step(pe, task, incarnation);
     machine_.release_worker(pe);
   });
 }
 
-void Os::complete_task_step(hw::PeId pe, TaskId task) {
-  auto& rec = record(task);
+void Os::complete_task_step(hw::PeId pe, TaskId task,
+                            std::uint64_t incarnation) {
+  const auto it = tasks_.find(task);
+  if (it == tasks_.end() || it->second.incarnation != incarnation) {
+    // The task was reaped (and possibly re-initiated elsewhere) while this
+    // step was charging cycles; its buffered effects die unapplied.
+    return;
+  }
+  auto& rec = it->second;
   rec.step_pending = false;
+
+  // Applying a send is the first moment the outside world can observe this
+  // task, which ends silent restartability.  Idempotent read-only calls are
+  // exempt — re-running them is observationally safe.
+  for (const auto& [dst, msg] : rec.step_sends) {
+    const auto* call = std::get_if<MsgRemoteCall>(&msg);
+    if (call != nullptr) {
+      const auto pit = procedures_.find(call->procedure);
+      if (pit != procedures_.end() && pit->second.idempotent) continue;
+    }
+    rec.restartable = false;
+    break;
+  }
 
   // Apply buffered sends.
   for (auto& [dst, msg] : rec.step_sends)
@@ -627,16 +795,345 @@ void Os::on_work_lost(hw::ClusterId cluster) {
     ReadyItem item = std::move(running_.at(key));
     running_.erase(key);
     if (const auto* task = std::get_if<TaskId>(&item)) {
-      record(*task).state = TaskState::Ready;
+      const auto it = tasks_.find(*task);
+      if (it == tasks_.end()) continue;  // reaped mid-step: drop the redo
+      it->second.state = TaskState::Ready;
     }
     push_ready(cluster, std::move(item), /*front=*/true);
   }
 }
 
 // ---------------------------------------------------------------------------
+// Cluster-loss recovery
+
+std::optional<TaskId> Os::message_addressee(const Message& m) {
+  return std::visit(
+      [](const auto& v) -> std::optional<TaskId> {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, MsgInitiate>) return v.task;
+        if constexpr (std::is_same_v<T, MsgPauseNotify>) return v.parent;
+        if constexpr (std::is_same_v<T, MsgResumeChild>) return v.child;
+        if constexpr (std::is_same_v<T, MsgTerminateNotify>) return v.parent;
+        if constexpr (std::is_same_v<T, MsgRemoteReturn>) return v.caller;
+        // Remote calls and code loads are cluster-addressed.
+        return std::nullopt;
+      },
+      m);
+}
+
+bool Os::is_restartable(const TaskRecord& rec) const {
+  // A task can be silently re-run from its initiate parameters only if the
+  // outside world has neither seen it act nor handed it state it would
+  // lose: no applied non-idempotent sends, and an empty mailbox.
+  return rec.restartable && rec.state != TaskState::Finished &&
+         rec.replies.empty() && rec.child_results.empty() &&
+         rec.paused_children.empty() && rec.pending_resumes.empty() &&
+         rec.unconsumed_child_terms == 0 && rec.unconsumed_child_pauses == 0;
+}
+
+TaskId Os::restart_root(TaskId task) const {
+  // Highest unfinished ancestor: restarting there regenerates every
+  // protocol interaction the victim's loss invalidated.
+  TaskId current = task;
+  while (true) {
+    const auto it = tasks_.find(current);
+    if (it == tasks_.end()) return current;
+    const TaskId parent = it->second.parent;
+    if (parent == kNoTask) return current;
+    const auto pit = tasks_.find(parent);
+    if (pit == tasks_.end() || pit->second.state == TaskState::Finished)
+      return current;
+    current = parent;
+  }
+}
+
+void Os::reap_task(TaskId task) {
+  const auto it = tasks_.find(task);
+  if (it == tasks_.end()) return;
+  TaskRecord& rec = it->second;
+  if (task_reaper_) task_reaper_(task);
+
+  if (machine_.cluster_alive(rec.cluster)) {
+    Heap& h = heaps_[rec.cluster.index];
+    for (const std::size_t addr : rec.owned_heap_blocks) {
+      machine_.release(rec.cluster, h.block_size(addr));
+      h.free(addr);
+    }
+    if (rec.ar_address != Heap::kNullAddress) {
+      machine_.release(rec.cluster, h.block_size(rec.ar_address));
+      h.free(rec.ar_address);
+    }
+    auto& state = cluster_state(rec.cluster);
+    if (rec.state != TaskState::Finished && state.live_load > 0)
+      state.live_load -= 1;
+    std::erase_if(state.ready, [&](const ReadyItem& item) {
+      const auto* queued = std::get_if<TaskId>(&item);
+      return queued != nullptr && *queued == task;
+    });
+  }
+  task_homes_.erase(task);
+  tasks_.erase(it);
+}
+
+void Os::reinitiate_task(TaskId task) {
+  const auto it = tasks_.find(task);
+  FEM2_CHECK_MSG(it != tasks_.end(), "re-initiating an unknown task");
+  metrics_.tasks_relocated += 1;
+  const TaskRecord& rec = it->second;
+
+  MsgInitiate m;
+  m.task_type = rec.type;
+  m.task = rec.id;
+  m.parent = rec.parent;
+  m.replication_index = rec.replication_index;
+  m.replication_count = rec.replication_count;
+  m.params = rec.saved_params;
+  const TaskId parent = rec.parent;
+
+  reap_task(task);
+
+  // The re-initiate models recovery traffic from the coordinating cluster:
+  // the parent's home when it is alive, otherwise any survivor.
+  hw::ClusterId source = hw::ClusterId{};
+  if (parent != kNoTask) {
+    const auto pit = tasks_.find(parent);
+    if (pit != tasks_.end() && machine_.cluster_alive(pit->second.cluster))
+      source = pit->second.cluster;
+  }
+  if (!source.valid()) source = first_alive_cluster();
+
+  const hw::ClusterId target = choose_cluster(source);
+  task_homes_.emplace(m.task, target);
+  send(source, target, Message{std::move(m)});
+}
+
+void Os::flush_transport_to(hw::ClusterId cluster) {
+  for (auto& [key, channel] : send_channels_) {
+    if (key.second != cluster.index || channel.unacked.empty()) continue;
+    std::map<std::uint64_t, UnackedFrame> unacked = std::move(channel.unacked);
+    channel.unacked.clear();
+    const hw::ClusterId source{key.first};
+    for (auto& [seq, frame] : unacked) {
+      if (auto* init = std::get_if<MsgInitiate>(&frame.message)) {
+        // The task never came to exist; re-route its initiate to a live
+        // cluster (unless its parent was reaped meanwhile).
+        if (init->parent != kNoTask && !tasks_.contains(init->parent)) {
+          metrics_.stale_messages_dropped += 1;
+          task_homes_.erase(init->task);
+          continue;
+        }
+        const hw::ClusterId target = choose_cluster(source);
+        task_homes_[init->task] = target;
+        metrics_.tasks_relocated += 1;
+        send(source, target, std::move(frame.message));
+        continue;
+      }
+      const auto addressee = message_addressee(frame.message);
+      const auto home =
+          addressee ? task_homes_.find(*addressee) : task_homes_.end();
+      if (!addressee || home == task_homes_.end() ||
+          !tasks_.contains(*addressee) ||
+          !machine_.cluster_alive(home->second)) {
+        metrics_.stale_messages_dropped += 1;
+        continue;
+      }
+      // Follow the addressee to its new home on a fresh channel sequence.
+      send(source, home->second, std::move(frame.message));
+    }
+  }
+}
+
+void Os::flush_transport_from(hw::ClusterId cluster) {
+  // The dead cluster's send channels: each unacknowledged frame either never
+  // arrived, or arrived and only its ack was lost.  Retire the channel state
+  // (silencing its retransmit timers) and salvage what still matters.
+  for (auto& [key, channel] : send_channels_) {
+    if (key.first != cluster.index || channel.unacked.empty()) continue;
+    std::map<std::uint64_t, UnackedFrame> unacked = std::move(channel.unacked);
+    channel.unacked.clear();
+    for (auto& [seq, frame] : unacked) {
+      if (auto* init = std::get_if<MsgInitiate>(&frame.message)) {
+        if (tasks_.contains(init->task)) continue;  // delivered; ack was lost
+        if (init->parent != kNoTask && !tasks_.contains(init->parent)) {
+          // Parent reaped (or itself mid-reinitiate): the restarted tree
+          // re-creates its own children.
+          metrics_.stale_messages_dropped += 1;
+          task_homes_.erase(init->task);
+          continue;
+        }
+        const hw::ClusterId source = first_alive_cluster();
+        const hw::ClusterId target = choose_cluster(source);
+        task_homes_[init->task] = target;
+        metrics_.tasks_relocated += 1;
+        send(source, target, std::move(frame.message));
+        continue;
+      }
+      if (auto* term = std::get_if<MsgTerminateNotify>(&frame.message)) {
+        // A child that finished on the dead cluster before it died: its
+        // result survives in the task table, so the notification can be
+        // re-sent from a live source — but only if it was never delivered
+        // and the parent is still around to consume it.
+        const auto child = tasks_.find(term->child);
+        const auto home = task_homes_.find(term->parent);
+        if (child != tasks_.end() && !child->second.terminate_delivered &&
+            tasks_.contains(term->parent) && home != task_homes_.end() &&
+            machine_.cluster_alive(home->second)) {
+          send(first_alive_cluster(), home->second, std::move(frame.message));
+          continue;
+        }
+      }
+      // Everything else is covered by task-level recovery: an undelivered
+      // pause/resume involves a task that lived on the dead cluster (already
+      // a victim), and a lost remote return leaves its pending call intact,
+      // making the caller a victim.
+      metrics_.stale_messages_dropped += 1;
+    }
+  }
+}
+
+void Os::on_cluster_lost(hw::ClusterId cluster) {
+  metrics_.clusters_lost += 1;
+
+  // The cluster's kernel state dies with the hardware: queued work, the
+  // dispatch latch, its code registry, and the heap's contents.
+  auto& state = cluster_state(cluster);
+  state.ready.clear();
+  state.dispatching = false;
+  state.live_load = 0;
+  state.loaded_code.clear();
+  heaps_[cluster.index] = Heap(machine_.memory_capacity(),
+                               options_.heap_policy);
+
+  // Held (out-of-order) frames lived in the dead cluster's memory; the
+  // channel sequence state is NIC-resident and survives.
+  for (auto& [key, channel] : recv_channels_)
+    if (key.second == cluster.index) channel.held.clear();
+
+  // Frames from the dead cluster held for reordering at live receivers have
+  // already physically arrived (and been acknowledged); the sequence gaps
+  // below them can never fill now.  Deliver them in order before recovery
+  // decides who is a victim, so their effects (task records, delivered
+  // terminations, retired calls) are visible to the victim computation.
+  for (auto& [key, channel] : recv_channels_) {
+    if (key.first != cluster.index || channel.held.empty()) continue;
+    const hw::ClusterId dst{key.second};
+    if (!machine_.cluster_alive(dst)) continue;
+    std::map<std::uint64_t, Message> held = std::move(channel.held);
+    channel.held.clear();
+    for (auto& [seq, message] : held) {
+      channel.next_expected = seq + 1;
+      deliver(dst, cluster, std::move(message));
+    }
+  }
+
+  // Victims: unfinished tasks homed here, plus callers stranded mid remote
+  // call into here (their reply will never come).
+  std::set<TaskId> victims;
+  for (const auto& [id, rec] : tasks_)
+    if (rec.cluster == cluster && rec.state != TaskState::Finished)
+      victims.insert(id);
+  for (const auto& [token, call] : pending_calls_) {
+    if (call.destination != cluster) continue;
+    const auto it = tasks_.find(call.caller);
+    if (it != tasks_.end() && it->second.state != TaskState::Finished &&
+        it->second.incarnation == call.caller_epoch)
+      victims.insert(call.caller);
+  }
+
+  if (machine_.alive_clusters() == 0) {
+    // In-flight work counts as live too: an earlier kill in the same event
+    // may have re-initiated tasks whose initiate messages are still on the
+    // wire, so tasks_ alone under-counts.  A placement reservation without a
+    // task record is exactly an initiate that has not landed yet (framed or
+    // not), and unacknowledged frames cover everything else.
+    std::size_t in_flight = 0;
+    for (const auto& [id, home] : task_homes_)
+      if (!tasks_.contains(id)) in_flight += 1;
+    for (const auto& [key, channel] : send_channels_)
+      in_flight += channel.unacked.size();
+    if (live_tasks() > 0 || in_flight > 0) {
+      throw support::Error("all clusters failed with " +
+                           std::to_string(live_tasks()) +
+                           " unfinished tasks and " +
+                           std::to_string(in_flight) +
+                           " undelivered messages; the computation is "
+                           "unrecoverable");
+    }
+    return;
+  }
+
+  // Partition into individually-relocatable leaves and tree restarts.
+  std::set<TaskId> roots;
+  std::vector<TaskId> leaves;
+  for (const TaskId id : victims) {
+    const auto it = tasks_.find(id);
+    if (it == tasks_.end()) continue;
+    const auto& rec = it->second;
+    if (rec.cluster == cluster && is_restartable(rec)) {
+      leaves.push_back(id);
+    } else {
+      roots.insert(restart_root(id));
+    }
+  }
+
+  // Tree restarts: reap the whole subtree, then re-initiate the root under
+  // its original id, so an external waiter on task_result(root) never
+  // notices beyond the elapsed time.
+  for (const TaskId root : roots) {
+    if (!tasks_.contains(root)) continue;
+    std::vector<TaskId> subtree{root};
+    for (std::size_t i = 0; i < subtree.size(); ++i) {
+      for (const auto& [id, rec] : tasks_)
+        if (rec.parent == subtree[i]) subtree.push_back(id);
+    }
+    for (std::size_t i = subtree.size(); i > 1; --i) reap_task(subtree[i - 1]);
+    metrics_.orphans_reaped += subtree.size() - 1;
+    reinitiate_task(root);
+    metrics_.trees_restarted += 1;
+  }
+
+  // Restartable leaves untouched by a tree restart relocate individually.
+  for (const TaskId id : leaves) {
+    if (!tasks_.contains(id)) continue;
+    reinitiate_task(id);
+  }
+
+  // Retire stranded call bookkeeping: calls into the dead cluster, and
+  // calls whose caller incarnation no longer exists.
+  std::erase_if(pending_calls_, [&](const auto& entry) {
+    if (entry.second.destination == cluster) return true;
+    const auto it = tasks_.find(entry.second.caller);
+    return it == tasks_.end() ||
+           it->second.incarnation != entry.second.caller_epoch;
+  });
+
+  // Unacknowledged frames to the dead cluster follow their addressee's new
+  // home or are dropped as stale, and frames the dead cluster itself had in
+  // flight are re-sent from a live source or retired.
+  flush_transport_to(cluster);
+  flush_transport_from(cluster);
+}
+
+// ---------------------------------------------------------------------------
 // Message handlers (run at kernel decode time)
 
 void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
+  if (m.parent != kNoTask && !tasks_.contains(m.parent)) {
+    // Orphan initiate: the parent's subtree was reaped by cluster-loss
+    // recovery while this message was in flight.  The restarted tree
+    // re-creates its own children, so this one must not run.  Undo the
+    // placement reservation made at send time.
+    metrics_.stale_messages_dropped += 1;
+    task_homes_.erase(m.task);
+    auto& state = cluster_state(cluster);
+    if (state.live_load > 0) state.live_load -= 1;
+    return;
+  }
+  if (tasks_.contains(m.task)) {
+    // Duplicate initiate (the task already exists here or was re-homed).
+    metrics_.stale_messages_dropped += 1;
+    return;
+  }
   const auto it = code_.find(m.task_type);
   FEM2_CHECK_MSG(it != code_.end(),
                  "initiate of unknown task type: " + m.task_type);
@@ -665,6 +1162,8 @@ void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
   rec.ar_address = address;
   rec.ar_bytes = ar_bytes;
 
+  rec.saved_params = m.params;  // kept for re-initiation after cluster loss
+  rec.incarnation = next_incarnation_++;
   rec.api = std::make_unique<TaskApi>(*this, rec.id);
   rec.program = block.factory(*rec.api, std::move(m.params));
   FEM2_CHECK_MSG(rec.program != nullptr, "task factory returned null");
@@ -678,7 +1177,12 @@ void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
 
 void Os::handle(hw::ClusterId cluster, MsgPauseNotify&& m) {
   (void)cluster;
-  auto& parent = record(m.parent);
+  const auto it = tasks_.find(m.parent);
+  if (it == tasks_.end()) {
+    metrics_.stale_messages_dropped += 1;
+    return;
+  }
+  auto& parent = it->second;
   parent.paused_children.push_back(m.child);
   parent.unconsumed_child_pauses += 1;
   if (parent.state == TaskState::Blocked &&
@@ -691,7 +1195,14 @@ void Os::handle(hw::ClusterId cluster, MsgPauseNotify&& m) {
 
 void Os::handle(hw::ClusterId cluster, MsgResumeChild&& m) {
   (void)cluster;
-  auto& child = record(m.child);
+  const auto it = tasks_.find(m.child);
+  if (it == tasks_.end()) {
+    metrics_.stale_messages_dropped += 1;
+    return;
+  }
+  auto& child = it->second;
+  // Delivering a datum is external state the child cannot silently replay.
+  child.restartable = false;
   if (child.state == TaskState::Paused) {
     make_ready(child, std::move(m.datum));
   } else {
@@ -702,7 +1213,14 @@ void Os::handle(hw::ClusterId cluster, MsgResumeChild&& m) {
 
 void Os::handle(hw::ClusterId cluster, MsgTerminateNotify&& m) {
   (void)cluster;
-  auto& parent = record(m.parent);
+  if (const auto cit = tasks_.find(m.child); cit != tasks_.end())
+    cit->second.terminate_delivered = true;
+  const auto it = tasks_.find(m.parent);
+  if (it == tasks_.end()) {
+    metrics_.stale_messages_dropped += 1;
+    return;
+  }
+  auto& parent = it->second;
   parent.child_results.push_back(std::move(m.result));
   parent.unconsumed_child_terms += 1;
   if (parent.state == TaskState::Blocked &&
@@ -722,7 +1240,13 @@ void Os::handle(hw::ClusterId cluster, MsgRemoteCall&& m, hw::ClusterId from) {
 
 void Os::handle(hw::ClusterId cluster, MsgRemoteReturn&& m) {
   (void)cluster;
-  auto& caller = record(m.caller);
+  pending_calls_.erase(m.token);
+  const auto it = tasks_.find(m.caller);
+  if (it == tasks_.end()) {
+    metrics_.stale_messages_dropped += 1;
+    return;
+  }
+  auto& caller = it->second;
   if (caller.state == TaskState::Blocked &&
       caller.wait.kind == TaskApi::WaitIntent::Kind::Reply &&
       caller.wait.token == m.token) {

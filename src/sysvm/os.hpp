@@ -120,6 +120,12 @@ class TaskApi {
   std::size_t heap_allocate(std::size_t bytes);
   void heap_free(std::size_t address);
 
+  /// Declare that this task has an external side effect the OS cannot see
+  /// (e.g. a direct host-memory window write).  Clears restartability, so
+  /// cluster-loss recovery escalates to a tree restart instead of silently
+  /// re-running the task.
+  void mark_side_effect();
+
   Os& os() { return os_; }
 
  private:
@@ -167,6 +173,10 @@ struct Procedure {
   std::string name;
   std::size_t activation_record_bytes = 128;
   std::function<Payload(ProcedureContext&, const Payload& args)> fn;
+  /// Re-executing the procedure is observationally safe (pure reads).  A
+  /// task whose only sends were idempotent calls stays restartable and can
+  /// be relocated individually after a cluster loss.
+  bool idempotent = false;
 };
 
 enum class TaskState { Ready, Running, Blocked, Paused, Finished };
@@ -179,9 +189,22 @@ struct OsOptions {
   /// Model load-code messages to clusters that have not seen a task type.
   bool code_loading = true;
   HeapPolicy heap_policy = HeapPolicy::FirstFit;
+
+  // --- reliable inter-cluster transport ------------------------------------
+  /// Wrap inter-cluster messages in sequenced frames with acknowledgement,
+  /// timeout-driven retransmission, duplicate suppression, and in-order
+  /// delivery per (source, destination) channel.  Required for correct
+  /// operation on a lossy network; off by default so fault-free runs keep
+  /// the seed cost model.
+  bool reliable_transport = false;
+  /// Base retransmission timeout; doubles per attempt (capped at 64x).
+  hw::Cycles retransmit_timeout = 20'000;
+  /// Attempts before the destination is declared unreachable
+  /// (support::Error).  Covers a link severed while both ends stay alive.
+  std::size_t max_retransmits = 12;
 };
 
-struct OsMetrics {
+struct OsStats {
   std::array<std::uint64_t, kMessageTypeCount> messages_sent{};
   std::array<std::uint64_t, kMessageTypeCount> message_bytes_sent{};
   std::uint64_t tasks_initiated = 0;
@@ -192,9 +215,24 @@ struct OsMetrics {
   std::uint64_t steps_redone = 0;  ///< re-executions after PE failures
   std::uint64_t ready_queue_peak = 0;
 
+  // Reliable-transport counters.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates_dropped = 0;  ///< receiver-side seq filtering
+  std::uint64_t acks_sent = 0;
+
+  // Cluster-loss recovery counters.
+  std::uint64_t clusters_lost = 0;
+  std::uint64_t tasks_relocated = 0;   ///< restartable leaves re-initiated
+  std::uint64_t trees_restarted = 0;   ///< root re-initiations
+  std::uint64_t orphans_reaped = 0;    ///< subtree records discarded
+  std::uint64_t stale_messages_dropped = 0;  ///< referenced reaped tasks
+
   std::uint64_t total_messages() const;
   std::uint64_t total_message_bytes() const;
 };
+
+/// Historical name, kept for call sites that predate the fault work.
+using OsMetrics = OsStats;
 
 class Os {
  public:
@@ -244,7 +282,8 @@ class Os {
   std::size_t ready_depth(hw::ClusterId cluster) const;
 
   Heap& heap(hw::ClusterId cluster);
-  const OsMetrics& metrics() const { return metrics_; }
+  const OsStats& metrics() const { return metrics_; }
+  const OsStats& stats() const { return metrics_; }
 
   // --- extension points for higher layers (navm) ---------------------------
   /// Reserve a call token (e.g. for synthetic wake-ups built on the
@@ -256,6 +295,17 @@ class Os {
   }
   hw::Machine& machine() { return machine_; }
   const hw::MachineConfig& config() const { return machine_.config(); }
+
+  /// Installed by a higher layer; invoked for every task record discarded by
+  /// cluster-loss recovery (so host-side registries — windows, collectors —
+  /// can drop state owned by the reaped task).  The record still exists when
+  /// the reaper runs.
+  using TaskReaper = std::function<void(TaskId)>;
+  void set_task_reaper(TaskReaper reaper) { task_reaper_ = std::move(reaper); }
+
+  /// A task exists and has not finished (stale-message guard; unlike
+  /// task_state this never throws).
+  bool task_known(TaskId task) const { return tasks_.contains(task); }
 
  private:
   friend class TaskApi;
@@ -279,6 +329,19 @@ class Os {
     std::uint32_t replication_index = 0;
     std::uint32_t replication_count = 1;
     TaskState state = TaskState::Ready;
+
+    // Cluster-loss recovery.  saved_params lets the OS re-issue the task's
+    // initiate message verbatim; restartable is cleared at the first applied
+    // effect the outside world can observe (any non-idempotent send, or a
+    // mark_side_effect from the layer above).  incarnation disambiguates a
+    // re-initiated record from in-flight work of its predecessor.
+    Payload saved_params;
+    bool restartable = true;
+    std::uint64_t incarnation = 0;
+    /// The parent has seen this task's terminate-notify.  Lets recovery
+    /// decide whether an unacknowledged terminate frame from a dead cluster
+    /// must be re-sent (once) or was already delivered.
+    bool terminate_delivered = false;
 
     std::unique_ptr<TaskApi> api;
     std::unique_ptr<TaskProgram> program;
@@ -310,25 +373,87 @@ class Os {
     std::size_t live_load = 0;  ///< tasks not yet finished (placement)
   };
 
+  // --- reliable transport ----------------------------------------------------
+  /// Wire envelope when reliable_transport is on.  Data frames carry one
+  /// protocol message plus a channel sequence number; ack frames carry the
+  /// acknowledged sequence number and no message.
+  struct Frame {
+    enum class Kind : std::uint8_t { Data, Ack };
+    Kind kind = Kind::Data;
+    std::uint32_t src = 0;  ///< channel source cluster index
+    std::uint64_t seq = 0;
+    Message message;
+  };
+  static constexpr std::size_t kFrameOverheadBytes = 16;
+  static constexpr std::size_t kAckBytes = 24;
+
+  struct UnackedFrame {
+    Message message;
+    std::size_t attempts = 0;
+  };
+  struct SendChannel {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, UnackedFrame> unacked;
+  };
+  struct RecvChannel {
+    std::uint64_t next_expected = 0;
+    std::map<std::uint64_t, Message> held;  ///< out-of-order hold-back
+  };
+  using ChannelKey = std::pair<std::uint32_t, std::uint32_t>;  ///< (src, dst)
+
+  /// A remote call whose return has not been seen: destination cluster and
+  /// caller, so a cluster loss can identify callers it strands.
+  struct PendingCall {
+    TaskId caller = kNoTask;
+    hw::ClusterId destination;
+    std::uint64_t caller_epoch = 0;
+  };
+
   // --- plumbing -------------------------------------------------------------
   using Packet_t = hw::Packet;
 
   TaskId next_task_id_ = 1;
   CallToken next_call_token_ = 1;
+  std::uint64_t next_incarnation_ = 1;
 
   hw::ClusterId choose_cluster(hw::ClusterId source);
+  hw::ClusterId first_alive_cluster() const;
   void send(hw::ClusterId from, hw::ClusterId to, Message message);
+  void transmit_frame(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq,
+                      const Message& message);
+  void send_ack(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq);
+  void arm_retransmit(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq,
+                      std::size_t attempts);
+  void retransmit(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq);
+  void deliver(hw::ClusterId cluster, hw::ClusterId from, Message&& message);
   void service(hw::ClusterId cluster);
   void dispatch_one(hw::ClusterId cluster);
   void decode(hw::ClusterId cluster, Packet_t&& packet);
   void assign_workers(hw::ClusterId cluster);
   void start_work(hw::PeId pe, ReadyItem item);
-  void complete_task_step(hw::PeId pe, TaskId task);
+  void complete_task_step(hw::PeId pe, TaskId task, std::uint64_t incarnation);
   void finish_task(TaskRecord& record);
   void apply_block_intent(TaskRecord& record);
   void make_ready(TaskRecord& record, Payload wake);
   void push_ready(hw::ClusterId cluster, ReadyItem item, bool front = false);
   void on_work_lost(hw::ClusterId cluster);
+
+  // --- cluster-loss recovery -------------------------------------------------
+  void on_cluster_lost(hw::ClusterId cluster);
+  /// Highest unfinished ancestor (recovery restarts whole trees from here).
+  TaskId restart_root(TaskId task) const;
+  bool is_restartable(const TaskRecord& rec) const;
+  /// Discard a task record (heap blocks, queue entries, registries) without
+  /// running it to completion.  Fires the task reaper.
+  void reap_task(TaskId task);
+  /// Erase `task` and send a fresh initiate with the same id from its saved
+  /// parameters; placement picks a live cluster.
+  void reinitiate_task(TaskId task);
+  /// Re-route or drop unacked frames destined to a dead cluster.
+  void flush_transport_to(hw::ClusterId cluster);
+  void flush_transport_from(hw::ClusterId cluster);
+  /// The task a message is addressed to, if it is task-addressed.
+  static std::optional<TaskId> message_addressee(const Message& m);
 
   TaskRecord& record(TaskId task);
   const TaskRecord& record(TaskId task) const;
@@ -355,7 +480,12 @@ class Os {
   std::vector<Heap> heaps_;
   std::map<std::uint64_t, ReadyItem> running_;  ///< flat PE index -> work
   std::size_t round_robin_ = 0;
-  OsMetrics metrics_;
+  OsStats metrics_;
+
+  std::map<ChannelKey, SendChannel> send_channels_;
+  std::map<ChannelKey, RecvChannel> recv_channels_;
+  std::map<CallToken, PendingCall> pending_calls_;
+  TaskReaper task_reaper_;
 };
 
 }  // namespace fem2::sysvm
