@@ -1,0 +1,123 @@
+// fem2_analyze — static + dynamic analysis CLI over the FEM-2 stack.
+//
+//   fem2_analyze --lint-grammars            lint the four built-in layer
+//                                           grammars (exit 1 on any finding;
+//                                           registered as a tier-1 test)
+//   fem2_analyze --lint-file FILE           parse + lint a grammar file
+//   fem2_analyze --check [--stride N]       run an instrumented distributed
+//                                           solve with conformance, race and
+//                                           deadlock detection (exit 1 on
+//                                           any error-severity finding)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyzer.hpp"
+#include "fem/mesh.hpp"
+#include "fem/solver.hpp"
+#include "hgraph/grammar_parser.hpp"
+#include "navm/parops.hpp"
+
+using namespace fem2;
+
+namespace {
+
+int report(const std::vector<analyze::Finding>& findings,
+           analyze::Severity fail_at) {
+  for (const auto& f : findings) std::cout << f.to_string() << "\n";
+  const std::size_t failures = analyze::count_at_least(findings, fail_at);
+  if (failures == 0) {
+    std::cout << "OK: no findings at or above "
+              << analyze::severity_name(fail_at) << " ("
+              << findings.size() << " total)\n";
+    return 0;
+  }
+  std::cout << "FAIL: " << failures << " finding(s) at or above "
+            << analyze::severity_name(fail_at) << "\n";
+  return 1;
+}
+
+int lint_grammars() {
+  std::cout << "linting built-in layer grammars (appvm, navm, sysvm, hw)\n";
+  return report(analyze::Analyzer::lint_layer_grammars(),
+                analyze::Severity::Info);
+}
+
+int lint_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fem2_analyze: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  hgraph::Grammar grammar;
+  try {
+    grammar = hgraph::parse_grammar(text.str());
+  } catch (const hgraph::GrammarParseError& e) {
+    std::cout << "error [lint/-] parse-error (" << path << "): " << e.what()
+              << "\n";
+    return 1;
+  }
+  return report(analyze::lint_grammar(grammar, path),
+                analyze::Severity::Info);
+}
+
+int check(std::size_t stride) {
+  hw::MachineConfig config;
+  config.clusters = 4;
+  config.pes_per_cluster = 4;
+  hw::Machine machine(config);
+  sysvm::Os os(machine);
+  navm::Runtime runtime(os);
+  navm::register_parallel_ops(runtime);
+
+  analyze::AnalyzerOptions options;
+  options.snapshot_stride = stride;
+  analyze::Analyzer analyzer(runtime, options);
+
+  std::cout << "running instrumented distributed solve (cantilever plate, "
+            << config.clusters << " clusters, stride " << stride << ")\n";
+  const auto model = fem::make_cantilever_plate({.nx = 16, .ny = 6}, 1'000.0);
+  const auto result = fem::solve_static_parallel(model, "tip-shear", runtime,
+                                                 {.workers = 8});
+  analyzer.check_now();
+
+  const auto stats = analyzer.stats();
+  std::cout << "solve: " << result.stats.iterations << " iterations\n"
+            << "observed: " << stats.steps_observed << " task steps, "
+            << stats.accesses_tracked << " window accesses, "
+            << stats.quiescent_points << " quiescent points\n"
+            << "checked: " << stats.snapshots << " snapshots ("
+            << stats.graphs_checked << " graphs), " << stats.messages_checked
+            << " messages\n";
+  return report(analyzer.findings(), analyze::Severity::Error);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t stride = 64;
+  const char* mode = "--check";
+  const char* file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lint-grammars") == 0 ||
+        std::strcmp(argv[i], "--check") == 0) {
+      mode = argv[i];
+    } else if (std::strcmp(argv[i], "--lint-file") == 0 && i + 1 < argc) {
+      mode = argv[i];
+      file = argv[++i];
+    } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+      stride = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: fem2_analyze [--lint-grammars | --lint-file FILE |"
+                   " --check [--stride N]]\n";
+      return 2;
+    }
+  }
+  if (std::strcmp(mode, "--lint-grammars") == 0) return lint_grammars();
+  if (std::strcmp(mode, "--lint-file") == 0) return lint_file(file);
+  return check(stride);
+}

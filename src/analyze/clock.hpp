@@ -1,0 +1,69 @@
+// Vector clocks over task ids, the happens-before backbone of the race
+// detector.  Sparse (map-based): the simulator creates task ids eagerly but
+// most clocks only ever carry entries for the handful of tasks whose
+// history reaches them.
+//
+// Access records use FastTrack-style epochs: an access by actor `a` at
+// clock value `c` happened-before a later point iff that point's clock has
+// component(a) >= c — no full vector comparison needed per check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fem2::analyze {
+
+/// One component of a vector clock: (actor, count).
+struct Epoch {
+  std::uint64_t actor = 0;
+  std::uint64_t clock = 0;
+};
+
+class VectorClock {
+ public:
+  void tick(std::uint64_t actor) { ++components_[actor]; }
+
+  std::uint64_t component(std::uint64_t actor) const {
+    const auto it = components_.find(actor);
+    return it == components_.end() ? 0 : it->second;
+  }
+
+  Epoch epoch(std::uint64_t actor) const {
+    return {actor, component(actor)};
+  }
+
+  /// Pointwise max (receive / barrier release).
+  void merge(const VectorClock& other) {
+    for (const auto& [actor, count] : other.components_) {
+      auto& mine = components_[actor];
+      if (count > mine) mine = count;
+    }
+  }
+
+  /// The event recorded as `e` happened-before this point.
+  bool ordered_before(const Epoch& e) const {
+    return component(e.actor) >= e.clock;
+  }
+
+  bool empty() const { return components_.empty(); }
+  void clear() { components_.clear(); }
+
+  /// "{3:5, 7:2}" — components in actor order.
+  std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [actor, count] : components_) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(actor) + ":" + std::to_string(count);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> components_;
+};
+
+}  // namespace fem2::analyze

@@ -1,0 +1,205 @@
+#include "analyze/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fem2::analyze {
+
+namespace {
+
+std::string task_label(const sysvm::Os& os, sysvm::TaskId id) {
+  std::string out = "task " + std::to_string(id);
+  if (os.task_known(id)) {
+    out += " (" + os.task_info(id).type + ")";
+  }
+  return out;
+}
+
+std::string wait_description(const sysvm::Os::WaitInfo& info) {
+  using Kind = sysvm::Os::WaitInfo::Kind;
+  switch (info.kind) {
+    case Kind::None:
+      return "not waiting";
+    case Kind::Reply:
+      return "blocked on reply to call token " + std::to_string(info.token);
+    case Kind::ChildTerminations:
+      return "blocked for " + std::to_string(info.count) +
+             " child termination(s), " + std::to_string(info.satisfied) +
+             " banked";
+    case Kind::ChildPauses:
+      return "blocked for " + std::to_string(info.count) +
+             " child pause(s), " + std::to_string(info.satisfied) + " banked";
+    case Kind::Pause:
+      return "paused, waiting for a resume";
+  }
+  return "unknown wait";
+}
+
+}  // namespace
+
+void DeadlockDetector::emit(Severity severity, std::string rule,
+                            std::string entity, std::string message,
+                            std::string evidence) {
+  const std::string key = rule + "/" + entity + "/" + message;
+  if (!reported_.insert(key).second) return;
+  Finding f;
+  f.pass = Pass::Deadlock;
+  f.severity = severity;
+  f.layer = Layer::Sysvm;
+  f.rule = std::move(rule);
+  f.entity = std::move(entity);
+  f.message = std::move(message);
+  f.evidence = std::move(evidence);
+  sink_.push_back(std::move(f));
+}
+
+void DeadlockDetector::scan() {
+  using Kind = sysvm::Os::WaitInfo::Kind;
+
+  // Group unfinished tasks and parent->children once.
+  std::vector<sysvm::TaskId> live;
+  std::map<sysvm::TaskId, std::vector<sysvm::TaskId>> children;
+  for (const sysvm::TaskId id : os_.task_ids()) {
+    const auto info = os_.task_info(id);
+    if (info.state == sysvm::TaskState::Finished) continue;
+    live.push_back(id);
+    if (info.parent != sysvm::kNoTask) children[info.parent].push_back(id);
+  }
+  if (live.empty()) return;
+
+  // Wait-for edges.  A child-termination (or child-pause) waiter waits on
+  // every unfinished (unpaused) child; a paused task waits on its parent,
+  // the only principal that resumes it in the task-tree protocol.
+  std::map<sysvm::TaskId, std::vector<sysvm::TaskId>> edges;
+  std::map<sysvm::TaskId, sysvm::Os::WaitInfo> waits;
+  for (const sysvm::TaskId id : live) {
+    const auto info = os_.task_info(id);
+    const auto wait = os_.wait_info(id);
+    waits[id] = wait;
+    switch (wait.kind) {
+      case Kind::ChildTerminations:
+        for (const sysvm::TaskId c : children[id]) edges[id].push_back(c);
+        break;
+      case Kind::ChildPauses:
+        for (const sysvm::TaskId c : children[id]) {
+          if (os_.task_state(c) != sysvm::TaskState::Paused)
+            edges[id].push_back(c);
+        }
+        break;
+      case Kind::Pause:
+        if (info.parent != sysvm::kNoTask && os_.task_known(info.parent) &&
+            !os_.task_finished(info.parent))
+          edges[id].push_back(info.parent);
+        break;
+      case Kind::Reply:
+      case Kind::None:
+        break;
+    }
+  }
+
+  // Cycle detection: iterative DFS with colors.
+  std::map<sysvm::TaskId, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<sysvm::TaskId> stack;
+  for (const sysvm::TaskId root : live) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<sysvm::TaskId, std::size_t>> dfs{{root, 0}};
+    stack.clear();
+    color[root] = 1;
+    stack.push_back(root);
+    while (!dfs.empty()) {
+      auto& [node, next] = dfs.back();
+      const auto& out = edges[node];
+      if (next >= out.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const sysvm::TaskId target = out[next++];
+      if (color[target] == 1) {
+        // Found a cycle: the suffix of `stack` from `target`.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), target);
+        std::vector<sysvm::TaskId> cycle(begin, stack.end());
+        // Canonicalize: rotate the smallest id first so dedup is stable.
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string names;
+        std::string detail;
+        for (const sysvm::TaskId id : cycle) {
+          if (!names.empty()) names += " -> ";
+          names += std::to_string(id);
+          if (!detail.empty()) detail += "; ";
+          detail += task_label(os_, id) + " " + wait_description(waits[id]);
+        }
+        names += " -> " + std::to_string(cycle.front());
+        emit(Severity::Error, "wait-cycle", "tasks " + names,
+             "tasks form a wait-for cycle; none can ever run again",
+             detail);
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        stack.push_back(target);
+        dfs.emplace_back(target, 0);
+      }
+    }
+  }
+
+  // Starvation reports need certainty: only meaningful once the event
+  // queue has drained (nothing in flight can still satisfy a wait).
+  if (!os_.machine().engine().idle()) return;
+
+  const auto pending = os_.pending_call_infos();
+  for (const sysvm::TaskId id : live) {
+    const auto& wait = waits[id];
+    if (wait.kind == Kind::None) {
+      // Ready/Running at idle: starved of a PE — its cluster must be dead.
+      emit(Severity::Error, "stalled-task", task_label(os_, id),
+           "runnable at simulation idle but never scheduled (its cluster "
+           "has no serving kernel)",
+           "state " + std::string(sysvm::task_state_name(os_.task_state(id))));
+      continue;
+    }
+    if (wait.kind == Kind::Reply) {
+      std::string where = "no pending call records the token";
+      for (const auto& call : pending) {
+        if (call.token == wait.token) {
+          where = "call to cluster " +
+                  std::to_string(call.destination.index) +
+                  " never returned";
+          break;
+        }
+      }
+      emit(Severity::Error, "stranded-reply", task_label(os_, id),
+           wait_description(wait) + " that can no longer arrive", where);
+      continue;
+    }
+    emit(Severity::Error, "starved-wait", task_label(os_, id),
+         wait_description(wait) + " at simulation idle; no source remains",
+         "");
+  }
+
+  if (runtime_ != nullptr) {
+    for (const auto& c : runtime_->collector_infos()) {
+      if (!c.armed || c.deposited >= c.expected) continue;
+      emit(Severity::Error, "underfull-collector",
+           "collector " + std::to_string(c.id),
+           "armed with " + std::to_string(c.deposited) + "/" +
+               std::to_string(c.expected) +
+               " deposits at simulation idle; owner " +
+               task_label(os_, c.owner) + " waits forever",
+           "");
+    }
+  }
+
+  for (const auto& backlog : os_.transport_backlog()) {
+    emit(Severity::Warning, "unacked-frames",
+         "channel " + std::to_string(backlog.source.index) + "->" +
+             std::to_string(backlog.destination.index),
+         std::to_string(backlog.unacked) +
+             " reliable-transport frame(s) unacknowledged at simulation "
+             "idle",
+         "");
+  }
+}
+
+}  // namespace fem2::analyze

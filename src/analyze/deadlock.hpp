@@ -1,0 +1,40 @@
+// Deadlock detection (pass 3b of fem2_analyze): wait-for-graph cycle
+// detection over blocked tasks, plus idle-time starvation reports for
+// waits nothing can ever satisfy (stranded replies, underfull collectors,
+// unacknowledged reliable-transport frames).
+//
+// Scans run when the event engine goes idle: at that point every pending
+// wait is definitely permanent, so reports carry no false positives.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.hpp"
+#include "navm/runtime.hpp"
+#include "sysvm/os.hpp"
+
+namespace fem2::analyze {
+
+class DeadlockDetector {
+ public:
+  DeadlockDetector(sysvm::Os& os, navm::Runtime* runtime,
+                   std::vector<Finding>& sink)
+      : os_(os), runtime_(runtime), sink_(sink) {}
+
+  /// Scan for wait cycles and permanently stuck tasks.  Call when the
+  /// engine is idle (or from Analyzer::check_now).  Repeated scans dedup.
+  void scan();
+
+ private:
+  void emit(Severity severity, std::string rule, std::string entity,
+            std::string message, std::string evidence);
+
+  sysvm::Os& os_;
+  navm::Runtime* runtime_;
+  std::vector<Finding>& sink_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace fem2::analyze

@@ -1,0 +1,68 @@
+#include "analyze/finding.hpp"
+
+#include "support/check.hpp"
+
+namespace fem2::analyze {
+
+std::string_view pass_name(Pass p) {
+  switch (p) {
+    case Pass::GrammarLint: return "grammar-lint";
+    case Pass::Conformance: return "conformance";
+    case Pass::Race: return "race";
+    case Pass::Deadlock: return "deadlock";
+  }
+  FEM2_UNREACHABLE("bad Pass");
+}
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  FEM2_UNREACHABLE("bad Severity");
+}
+
+std::string_view layer_name(Layer l) {
+  switch (l) {
+    case Layer::Appvm: return "appvm";
+    case Layer::Navm: return "navm";
+    case Layer::Sysvm: return "sysvm";
+    case Layer::Hw: return "hw";
+    case Layer::None: return "-";
+  }
+  FEM2_UNREACHABLE("bad Layer");
+}
+
+std::string Finding::to_string() const {
+  std::string out;
+  out += severity_name(severity);
+  out += " [";
+  out += pass_name(pass);
+  out += "/";
+  out += layer_name(layer);
+  out += "] ";
+  out += rule;
+  if (!entity.empty()) {
+    out += " (";
+    out += entity;
+    out += ")";
+  }
+  out += ": ";
+  out += message;
+  if (!evidence.empty()) {
+    out += "\n    evidence: ";
+    out += evidence;
+  }
+  return out;
+}
+
+std::size_t count_at_least(const std::vector<Finding>& findings,
+                           Severity min) {
+  std::size_t n = 0;
+  for (const auto& f : findings)
+    if (f.severity >= min) ++n;
+  return n;
+}
+
+}  // namespace fem2::analyze

@@ -1,0 +1,45 @@
+// The common defect record emitted by every analysis pass (ISSUE: "a common
+// structured Finding record (layer, severity, entity, clock evidence)
+// consumable by tests and the bench harness").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fem2::analyze {
+
+/// Which pass produced the finding.
+enum class Pass { GrammarLint, Conformance, Race, Deadlock };
+std::string_view pass_name(Pass p);
+
+enum class Severity { Info, Warning, Error };
+std::string_view severity_name(Severity s);
+
+/// Which VM layer the finding is about (matches src/spec/layers.hpp).
+enum class Layer { Appvm, Navm, Sysvm, Hw, None };
+std::string_view layer_name(Layer l);
+
+struct Finding {
+  Pass pass = Pass::GrammarLint;
+  Severity severity = Severity::Warning;
+  Layer layer = Layer::None;
+  /// Short machine-readable category, e.g. "unreachable-nonterminal",
+  /// "write-write-race", "wait-cycle".
+  std::string rule;
+  /// What the finding is about: a nonterminal, "task 7", "array 3", ...
+  std::string entity;
+  /// Human-readable description of the defect.
+  std::string message;
+  /// Supporting detail: grammar source location, vector-clock epochs of the
+  /// two unordered accesses, the wait-for cycle, recent-activity trail.
+  std::string evidence;
+
+  std::string to_string() const;
+};
+
+/// Findings of at least `min` severity.
+std::size_t count_at_least(const std::vector<Finding>& findings, Severity min);
+
+}  // namespace fem2::analyze

@@ -1,0 +1,285 @@
+#include "analyze/lint.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fem2::analyze {
+
+namespace {
+
+using hgraph::Alternative;
+using hgraph::ArcPattern;
+using hgraph::AtomKind;
+using hgraph::Composite;
+using hgraph::Grammar;
+using hgraph::Multiplicity;
+using hgraph::NonterminalRef;
+using hgraph::Rule;
+using hgraph::SourceLoc;
+
+/// Nonterminals an alternative references (arc targets and aliases).
+void collect_references(const Alternative& alt,
+                        std::set<std::string>& out) {
+  if (const auto* ref = std::get_if<NonterminalRef>(&alt)) {
+    out.insert(ref->name);
+    return;
+  }
+  if (const auto* comp = std::get_if<Composite>(&alt)) {
+    for (const auto& pat : comp->arcs) out.insert(pat.nonterminal);
+  }
+}
+
+bool alternatives_equal(const Alternative& a, const Alternative& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ka = std::get_if<AtomKind>(&a))
+    return *ka == *std::get_if<AtomKind>(&b);
+  if (const auto* ra = std::get_if<NonterminalRef>(&a))
+    return ra->name == std::get_if<NonterminalRef>(&b)->name;
+  const auto& ca = *std::get_if<Composite>(&a);
+  const auto& cb = *std::get_if<Composite>(&b);
+  if (ca.own_atom != cb.own_atom || ca.open != cb.open ||
+      ca.arcs.size() != cb.arcs.size())
+    return false;
+  for (std::size_t i = 0; i < ca.arcs.size(); ++i) {
+    if (ca.arcs[i].label != cb.arcs[i].label ||
+        ca.arcs[i].multiplicity != cb.arcs[i].multiplicity ||
+        ca.arcs[i].nonterminal != cb.arcs[i].nonterminal)
+      return false;
+  }
+  return true;
+}
+
+/// matches(a) is a subset of matches(b) for leaf atom alternatives.
+bool atom_subsumed_by(AtomKind a, AtomKind b) {
+  if (a == b) return true;
+  if (b == AtomKind::Any) return true;
+  return a == AtomKind::Int && b == AtomKind::Real;
+}
+
+class Linter {
+ public:
+  Linter(const Grammar& grammar, std::string_view grammar_name,
+         const LintOptions& options)
+      : grammar_(grammar), name_(grammar_name), options_(options) {}
+
+  std::vector<Finding> run() {
+    check_undefined();
+    check_unreachable();
+    check_unproductive();
+    check_duplicate_productions();
+    check_arc_conflicts();
+    check_atom_conflicts();
+    return std::move(findings_);
+  }
+
+ private:
+  void emit(Severity severity, std::string rule, std::string entity,
+            std::string message, const SourceLoc& loc) {
+    Finding f;
+    f.pass = Pass::GrammarLint;
+    f.severity = severity;
+    f.layer = options_.layer;
+    f.rule = std::move(rule);
+    f.entity = std::string(name_) + ":" + std::move(entity);
+    f.message = std::move(message);
+    f.evidence = "grammar source " + loc.to_string();
+    findings_.push_back(std::move(f));
+  }
+
+  void check_undefined() {
+    for (const auto& [name, rules] : grammar_.rules()) {
+      for (const auto& rule : rules) {
+        if (const auto* ref =
+                std::get_if<NonterminalRef>(&rule.alternative)) {
+          if (!grammar_.has_rule(ref->name)) {
+            emit(Severity::Error, "undefined-nonterminal", name,
+                 "alternative refers to undefined nonterminal '" + ref->name +
+                     "'",
+                 rule.loc);
+          }
+          continue;
+        }
+        const auto* comp = std::get_if<Composite>(&rule.alternative);
+        if (comp == nullptr) continue;
+        for (const auto& pat : comp->arcs) {
+          if (!grammar_.has_rule(pat.nonterminal)) {
+            emit(Severity::Error, "undefined-nonterminal", name,
+                 "arc '" + pat.label + "' targets undefined nonterminal '" +
+                     pat.nonterminal + "'",
+                 pat.loc.known() ? pat.loc : rule.loc);
+          }
+        }
+      }
+    }
+  }
+
+  void check_unreachable() {
+    // Roots: configured, or inferred as "referenced by no other rule".
+    std::set<std::string> referenced_by_others;
+    for (const auto& [name, rules] : grammar_.rules()) {
+      std::set<std::string> refs;
+      for (const auto& rule : rules) collect_references(rule.alternative, refs);
+      refs.erase(name);  // self-recursion doesn't anchor reachability
+      referenced_by_others.insert(refs.begin(), refs.end());
+    }
+    std::deque<std::string> frontier;
+    if (!options_.roots.empty()) {
+      for (const auto& r : options_.roots) frontier.push_back(r);
+    } else {
+      for (const auto& [name, rules] : grammar_.rules())
+        if (!referenced_by_others.contains(name)) frontier.push_back(name);
+    }
+    if (frontier.empty()) return;  // fully cyclic grammar: nothing to anchor
+
+    std::set<std::string> reached(frontier.begin(), frontier.end());
+    while (!frontier.empty()) {
+      const std::string name = std::move(frontier.front());
+      frontier.pop_front();
+      const auto it = grammar_.rules().find(name);
+      if (it == grammar_.rules().end()) continue;
+      std::set<std::string> refs;
+      for (const auto& rule : it->second)
+        collect_references(rule.alternative, refs);
+      for (const auto& ref : refs) {
+        if (Grammar::is_builtin(ref)) continue;
+        if (reached.insert(ref).second) frontier.push_back(ref);
+      }
+    }
+    for (const auto& [name, rules] : grammar_.rules()) {
+      if (reached.contains(name)) continue;
+      emit(Severity::Warning, "unreachable-nonterminal", name,
+           "not reachable from any grammar root",
+           rules.empty() ? SourceLoc{} : rules.front().loc);
+    }
+  }
+
+  void check_unproductive() {
+    // Least fixpoint: a nonterminal is productive if some alternative can
+    // derive a finite object.  Atoms and aliases to builtins are the base;
+    // a composite needs every mandatory (One-multiplicity) arc target
+    // productive — Optional/Star/IndexedFamily arcs admit zero arcs, so
+    // they never block productivity.
+    std::set<std::string> productive;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, rules] : grammar_.rules()) {
+        if (productive.contains(name)) continue;
+        for (const auto& rule : rules) {
+          if (alternative_productive(rule.alternative, productive)) {
+            productive.insert(name);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& [name, rules] : grammar_.rules()) {
+      if (productive.contains(name)) continue;
+      emit(Severity::Warning, "unproductive-nonterminal", name,
+           "derives no finite object (every alternative loops through a "
+           "mandatory occurrence of an unproductive nonterminal)",
+           rules.empty() ? SourceLoc{} : rules.front().loc);
+    }
+  }
+
+  static bool alternative_productive(const Alternative& alt,
+                                     const std::set<std::string>& productive) {
+    if (std::holds_alternative<AtomKind>(alt)) return true;
+    if (const auto* ref = std::get_if<NonterminalRef>(&alt)) {
+      return Grammar::is_builtin(ref->name) || productive.contains(ref->name);
+    }
+    const auto& comp = std::get<Composite>(alt);
+    for (const auto& pat : comp.arcs) {
+      if (pat.multiplicity != Multiplicity::One) continue;
+      if (Grammar::is_builtin(pat.nonterminal)) continue;
+      if (!productive.contains(pat.nonterminal)) return false;
+    }
+    return true;
+  }
+
+  void check_duplicate_productions() {
+    for (const auto& [name, rules] : grammar_.rules()) {
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        for (std::size_t j = i + 1; j < rules.size(); ++j) {
+          if (alternatives_equal(rules[i].alternative,
+                                 rules[j].alternative)) {
+            emit(Severity::Warning, "duplicate-production", name,
+                 "alternative " + std::to_string(j + 1) +
+                     " repeats alternative " + std::to_string(i + 1) +
+                     " (first defined at " + rules[i].loc.to_string() + ")",
+                 rules[j].loc);
+          }
+        }
+      }
+    }
+  }
+
+  void check_arc_conflicts() {
+    // Two patterns with the same label inside one composite are ambiguous:
+    // matching is first-pattern-wins, so the second can never bind an arc
+    // the first already claimed, and an indexed family plus a plain label
+    // of the same name fight over `label[i]` vs `label`.
+    for (const auto& [name, rules] : grammar_.rules()) {
+      for (const auto& rule : rules) {
+        const auto* comp = std::get_if<Composite>(&rule.alternative);
+        if (comp == nullptr) continue;
+        std::map<std::string, const ArcPattern*> seen;
+        for (const auto& pat : comp->arcs) {
+          const auto [it, inserted] = seen.emplace(pat.label, &pat);
+          if (!inserted) {
+            emit(Severity::Error, "conflicting-arc-pattern", name,
+                 "arc label '" + pat.label +
+                     "' appears twice in one composite (first at " +
+                     (it->second->loc.known() ? it->second->loc : rule.loc)
+                         .to_string() +
+                     ")",
+                 pat.loc.known() ? pat.loc : rule.loc);
+          }
+        }
+      }
+    }
+  }
+
+  void check_atom_conflicts() {
+    // Leaf-atom alternatives: if an earlier-or-later alternative accepts a
+    // superset of another's atoms, the narrower one is dead weight (REAL
+    // accepts INT; ANY accepts everything).
+    for (const auto& [name, rules] : grammar_.rules()) {
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        const auto* ka = std::get_if<AtomKind>(&rules[i].alternative);
+        if (ka == nullptr) continue;
+        for (std::size_t j = 0; j < rules.size(); ++j) {
+          if (i == j) continue;
+          const auto* kb = std::get_if<AtomKind>(&rules[j].alternative);
+          if (kb == nullptr || *ka == *kb) continue;
+          if (atom_subsumed_by(*ka, *kb)) {
+            emit(Severity::Warning, "atom-conflict", name,
+                 std::string("alternative ") +
+                     std::string(atom_kind_name(*ka)) + " is subsumed by " +
+                     std::string(atom_kind_name(*kb)) + " (defined at " +
+                     rules[j].loc.to_string() + ")",
+                 rules[i].loc);
+          }
+        }
+      }
+    }
+  }
+
+  const Grammar& grammar_;
+  std::string_view name_;
+  const LintOptions& options_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> lint_grammar(const hgraph::Grammar& grammar,
+                                  std::string_view grammar_name,
+                                  const LintOptions& options) {
+  return Linter(grammar, grammar_name, options).run();
+}
+
+}  // namespace fem2::analyze

@@ -1,0 +1,29 @@
+// Static analysis of H-graph grammars themselves (pass 1 of fem2_analyze):
+// undefined references, unreachable and unproductive nonterminals,
+// duplicate productions, conflicting arc patterns, subsumed atom
+// alternatives.  Findings carry the grammar source location recorded by
+// grammar_parser.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analyze/finding.hpp"
+#include "hgraph/grammar.hpp"
+
+namespace fem2::analyze {
+
+struct LintOptions {
+  /// Entry points of the grammar.  Empty = infer: every nonterminal that no
+  /// *other* rule references is a root (self-references don't count).
+  std::vector<std::string> roots;
+  /// Which VM layer to stamp on findings (display only).
+  Layer layer = Layer::None;
+};
+
+/// Lint one grammar.  `grammar_name` labels findings ("navm", "sysvm", ...).
+std::vector<Finding> lint_grammar(const hgraph::Grammar& grammar,
+                                  std::string_view grammar_name,
+                                  const LintOptions& options = {});
+
+}  // namespace fem2::analyze

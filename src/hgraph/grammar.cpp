@@ -19,6 +19,11 @@ std::string_view atom_kind_name(AtomKind k) {
   FEM2_UNREACHABLE("bad AtomKind");
 }
 
+std::string SourceLoc::to_string() const {
+  if (!known()) return "<unknown>";
+  return "line " + std::to_string(line) + ", col " + std::to_string(column);
+}
+
 bool atom_matches(const HGraph& g, NodeId node, AtomKind kind) {
   switch (kind) {
     case AtomKind::Nil: return g.is_empty(node);
@@ -72,10 +77,15 @@ struct Grammar::CheckState {
 
 Grammar::Grammar() = default;
 
-void Grammar::add_alternative(std::string nonterminal, Alternative alt) {
+void Grammar::add_alternative(std::string nonterminal, Alternative alt,
+                              SourceLoc loc) {
   FEM2_CHECK_MSG(!builtin_kind(nonterminal).has_value(),
                  "cannot redefine builtin nonterminal");
-  rules_[std::move(nonterminal)].push_back(std::move(alt));
+  rules_[std::move(nonterminal)].push_back(Rule{std::move(alt), loc});
+}
+
+bool Grammar::is_builtin(std::string_view nonterminal) {
+  return builtin_kind(nonterminal).has_value();
 }
 
 bool Grammar::has_rule(std::string_view nonterminal) const {
@@ -121,9 +131,9 @@ bool Grammar::check(const HGraph& g, NodeId node,
   state.in_progress.insert(key);
 
   std::string first_error;
-  for (const auto& alt : it->second) {
+  for (const auto& rule : it->second) {
     const std::string saved_error = state.error;
-    if (check_alternative(g, node, alt, state)) {
+    if (check_alternative(g, node, rule.alternative, state)) {
       state.in_progress.erase(key);
       state.proven.insert(key);
       state.error = saved_error;
@@ -231,28 +241,35 @@ bool Grammar::check_alternative(const HGraph& g, NodeId node,
   return true;
 }
 
+namespace {
+
+ConformanceResult undefined_reference(const std::string& rule_name,
+                                      const std::string& target,
+                                      const SourceLoc& loc) {
+  ConformanceResult r;
+  r.ok = false;
+  r.error = "rule '" + rule_name + "' (" + loc.to_string() +
+            ") references undefined nonterminal '" + target + "'";
+  return r;
+}
+
+}  // namespace
+
 ConformanceResult Grammar::validate() const {
   for (const auto& [name, alts] : rules_) {
-    for (const auto& alt : alts) {
-      if (const auto* ref = std::get_if<NonterminalRef>(&alt)) {
+    for (const auto& rule : alts) {
+      if (const auto* ref = std::get_if<NonterminalRef>(&rule.alternative)) {
         if (!has_rule(ref->name)) {
-          ConformanceResult r;
-          r.ok = false;
-          r.error = "rule '" + name + "' references undefined nonterminal '" +
-                    ref->name + "'";
-          return r;
+          return undefined_reference(name, ref->name, rule.loc);
         }
         continue;
       }
-      const auto* comp = std::get_if<Composite>(&alt);
+      const auto* comp = std::get_if<Composite>(&rule.alternative);
       if (!comp) continue;
       for (const auto& pat : comp->arcs) {
         if (!has_rule(pat.nonterminal)) {
-          ConformanceResult r;
-          r.ok = false;
-          r.error = "rule '" + name + "' references undefined nonterminal '" +
-                    pat.nonterminal + "'";
-          return r;
+          const SourceLoc& loc = pat.loc.known() ? pat.loc : rule.loc;
+          return undefined_reference(name, pat.nonterminal, loc);
         }
       }
     }

@@ -38,12 +38,24 @@ std::string_view atom_kind_name(AtomKind k);
 /// True if the node's atom satisfies the kind (REAL accepts INT).
 bool atom_matches(const HGraph& g, NodeId node, AtomKind kind);
 
+/// Position in the grammar source text (1-based; line 0 = unknown, e.g. a
+/// grammar assembled programmatically rather than parsed).
+struct SourceLoc {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool known() const { return line != 0; }
+  /// "line 3, col 14", or "<unknown>" for a default-constructed loc.
+  std::string to_string() const;
+};
+
 enum class Multiplicity { One, Optional, Star, IndexedFamily };
 
 struct ArcPattern {
   std::string label;
   Multiplicity multiplicity = Multiplicity::One;
   std::string nonterminal;
+  SourceLoc loc;
 };
 
 struct Composite {
@@ -60,6 +72,12 @@ struct NonterminalRef {
 /// One alternative of a production.
 using Alternative = std::variant<AtomKind, Composite, NonterminalRef>;
 
+/// An alternative together with where it was defined in the grammar source.
+struct Rule {
+  Alternative alternative;
+  SourceLoc loc;
+};
+
 struct ConformanceResult {
   bool ok = true;
   std::string error;  ///< first failure, with access-path context
@@ -69,13 +87,23 @@ struct ConformanceResult {
 
 class Grammar {
  public:
+  using RuleMap = std::map<std::string, std::vector<Rule>, std::less<>>;
+
   Grammar();
 
   /// Add an alternative for `nonterminal` (creating the rule if needed).
-  void add_alternative(std::string nonterminal, Alternative alt);
+  /// `loc` records where the alternative appears in the grammar source.
+  void add_alternative(std::string nonterminal, Alternative alt,
+                       SourceLoc loc = {});
 
   bool has_rule(std::string_view nonterminal) const;
   std::vector<std::string> nonterminals() const;
+
+  /// True for the builtin atom nonterminals NIL/INT/REAL/STRING/ANY.
+  static bool is_builtin(std::string_view nonterminal);
+
+  /// Full production table, for introspection (linting, tooling).
+  const RuleMap& rules() const { return rules_; }
 
   /// Does the subgraph rooted at `node` belong to the language of
   /// `nonterminal`?  On failure, `error` holds the first mismatch found.
@@ -83,7 +111,8 @@ class Grammar {
                              std::string_view nonterminal) const;
 
   /// Validate the grammar itself: every referenced nonterminal must be
-  /// defined (builtin atom kinds count as defined).
+  /// defined (builtin atom kinds count as defined).  Diagnostics carry the
+  /// source location of the offending alternative or arc pattern.
   ConformanceResult validate() const;
 
  private:
@@ -93,7 +122,7 @@ class Grammar {
   bool check_alternative(const HGraph& g, NodeId node, const Alternative& alt,
                          CheckState& state) const;
 
-  std::map<std::string, std::vector<Alternative>, std::less<>> rules_;
+  RuleMap rules_;
 };
 
 }  // namespace fem2::hgraph

@@ -27,7 +27,7 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  std::size_t line;
+  SourceLoc loc;
 };
 
 class Lexer {
@@ -41,6 +41,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(c))) {
@@ -51,6 +52,7 @@ class Lexer {
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
         continue;
       }
+      const SourceLoc loc = here();
       if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         std::size_t start = pos_;
         while (pos_ < text_.size() &&
@@ -58,21 +60,21 @@ class Lexer {
                 text_[pos_] == '_'))
           ++pos_;
         out.push_back({TokKind::Ident,
-                       std::string(text_.substr(start, pos_ - start)), line_});
+                       std::string(text_.substr(start, pos_ - start)), loc});
         continue;
       }
       if (text_.substr(pos_).starts_with("::=")) {
-        out.push_back({TokKind::Defines, "::=", line_});
+        out.push_back({TokKind::Defines, "::=", loc});
         pos_ += 3;
         continue;
       }
       if (text_.substr(pos_).starts_with("[*]")) {
-        out.push_back({TokKind::IndexedStar, "[*]", line_});
+        out.push_back({TokKind::IndexedStar, "[*]", loc});
         pos_ += 3;
         continue;
       }
       if (text_.substr(pos_).starts_with("...")) {
-        out.push_back({TokKind::Ellipsis, "...", line_});
+        out.push_back({TokKind::Ellipsis, "...", loc});
         pos_ += 3;
         continue;
       }
@@ -88,20 +90,23 @@ class Lexer {
         case '@': kind = TokKind::At; break;
         default:
           throw GrammarParseError("grammar lex error: unexpected '" +
-                                  std::string(1, c) + "' at line " +
-                                  std::to_string(line_));
+                                  std::string(1, c) + "' at " +
+                                  loc.to_string());
       }
-      out.push_back({kind, std::string(1, c), line_});
+      out.push_back({kind, std::string(1, c), loc});
       ++pos_;
     }
-    out.push_back({TokKind::End, "", line_});
+    out.push_back({TokKind::End, "", here()});
     return out;
   }
 
  private:
+  SourceLoc here() const { return {line_, pos_ - line_start_ + 1}; }
+
   std::string_view text_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
 };
 
 std::optional<AtomKind> atom_kind_from_name(std::string_view name) {
@@ -123,7 +128,8 @@ class Parser {
       const Token name = expect(TokKind::Ident, "rule name");
       expect(TokKind::Defines, "'::='");
       while (true) {
-        g.add_alternative(name.text, parse_alternative());
+        const SourceLoc alt_loc = peek().loc;
+        g.add_alternative(name.text, parse_alternative(), alt_loc);
         if (peek().kind != TokKind::Pipe) break;
         advance();
       }
@@ -158,14 +164,16 @@ class Parser {
         const auto k = atom_kind_from_name(kind.text);
         if (!k) {
           throw GrammarParseError("grammar parse error: '" + kind.text +
-                                  "' is not an atom kind (line " +
-                                  std::to_string(kind.line) + ")");
+                                  "' is not an atom kind at " +
+                                  kind.loc.to_string());
         }
         comp.own_atom = *k;
         continue;
       }
       ArcPattern pat;
-      pat.label = expect(TokKind::Ident, "arc label").text;
+      const Token label = expect(TokKind::Ident, "arc label");
+      pat.label = label.text;
+      pat.loc = label.loc;
       switch (peek().kind) {
         case TokKind::Question:
           pat.multiplicity = Multiplicity::Optional;
@@ -197,7 +205,7 @@ class Parser {
     if (peek().kind != kind) {
       throw GrammarParseError("grammar parse error: expected " +
                               std::string(what) + ", found '" + peek().text +
-                              "' at line " + std::to_string(peek().line));
+                              "' at " + peek().loc.to_string());
     }
     Token t = peek();
     advance();

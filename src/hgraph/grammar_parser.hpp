@@ -17,7 +17,7 @@
 
 namespace fem2::hgraph {
 
-/// Thrown on malformed grammar text; message includes line number.
+/// Thrown on malformed grammar text; message includes line and column.
 class GrammarParseError : public support::Error {
  public:
   using support::Error::Error;

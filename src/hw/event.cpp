@@ -28,7 +28,11 @@ std::uint64_t Engine::run_until(Cycles limit) {
     ev.action();
     ++count;
     ++processed_;
+    if (quiescent_hook_ && (queue_.empty() || queue_.top().time != now_)) {
+      quiescent_hook_();
+    }
   }
+  if (idle_hook_ && count > 0 && queue_.empty()) idle_hook_();
   return count;
 }
 

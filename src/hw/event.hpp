@@ -34,6 +34,21 @@ class Engine {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t processed() const { return processed_; }
 
+  using Hook = std::function<void()>;
+
+  /// Invoked at every quiescent point: after an event ran and no further
+  /// event is pending at the same virtual time (so all state transitions of
+  /// this instant have settled).  The hook must observe, not mutate, the
+  /// simulation — scheduling from inside it is rejected elsewhere by virtue
+  /// of analysis passes being read-only, not enforced here.  Pass {} to
+  /// detach.
+  void set_quiescent_hook(Hook hook) { quiescent_hook_ = std::move(hook); }
+
+  /// Invoked when a run() / run_until() drains the queue completely after
+  /// processing at least one event.  Used to detect simulations that went
+  /// idle with live tasks remaining (deadlock / starvation).
+  void set_idle_hook(Hook hook) { idle_hook_ = std::move(hook); }
+
  private:
   struct Event {
     Cycles time;
@@ -50,6 +65,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Hook quiescent_hook_;
+  Hook idle_hook_;
 };
 
 }  // namespace fem2::hw

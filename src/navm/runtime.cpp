@@ -61,7 +61,12 @@ Window Runtime::create_array(TaskContext& ctx, std::size_t rows,
   info.data = std::move(init);
   const ArrayId id = info.id;
   arrays_.emplace(id, std::move(info));
-  return Window{id, 0, 0, rows, cols};
+  const Window full{id, 0, 0, rows, cols};
+  if (observer_) {
+    observer_->on_array_created(id, ctx.self());
+    observer_->on_array_write(full);  // the initialization store
+  }
+  return full;
 }
 
 const Runtime::ArrayInfo& Runtime::array_info(ArrayId id) const {
@@ -102,6 +107,7 @@ hw::ClusterId Runtime::window_cluster(const Window& window) const {
 }
 
 std::vector<double> Runtime::gather(const Window& window) const {
+  if (observer_) observer_->on_array_read(window);
   const ArrayInfo& info = array_info(window.array);
   FEM2_CHECK_MSG(window.row0 + window.rows <= info.rows &&
                      window.col0 + window.cols <= info.cols,
@@ -117,6 +123,7 @@ std::vector<double> Runtime::gather(const Window& window) const {
 }
 
 void Runtime::scatter(const Window& window, std::span<const double> data) {
+  if (observer_) observer_->on_array_write(window);
   const ArrayInfo& const_info = array_info(window.array);
   auto& info = const_cast<ArrayInfo&>(const_info);
   FEM2_CHECK_MSG(data.size() == window.elements(),
@@ -150,6 +157,7 @@ std::vector<sysvm::Payload> Runtime::collector_take(std::uint64_t id) {
   FEM2_CHECK_MSG(it != collectors_.end(), "unknown collector");
   auto& c = it->second;
   FEM2_CHECK_MSG(c.items.size() >= c.expected, "collector not full");
+  if (observer_) observer_->on_collector_take(id, c.owner);
   std::vector<sysvm::Payload> out = std::move(c.items);
   c.items.clear();  // auto-reset for the next phase
   c.waiting_token = 0;
@@ -161,6 +169,16 @@ void Runtime::collector_arm(std::uint64_t id, sysvm::CallToken token) {
   FEM2_CHECK_MSG(it != collectors_.end(), "unknown collector");
   FEM2_CHECK_MSG(it->second.waiting_token == 0, "collector already armed");
   it->second.waiting_token = token;
+}
+
+std::vector<Runtime::CollectorInfo> Runtime::collector_infos() const {
+  std::vector<CollectorInfo> out;
+  out.reserve(collectors_.size());
+  for (const auto& [id, c] : collectors_) {
+    out.push_back(
+        {id, c.owner, c.expected, c.items.size(), c.waiting_token != 0});
+  }
+  return out;
 }
 
 void Runtime::register_builtin_procedures() {
@@ -223,6 +241,7 @@ sysvm::Payload Runtime::procedure_collect(sysvm::ProcedureContext& ctx,
     // accepted from its previous incarnation; count it once.
     return sysvm::Payload{};
   }
+  if (observer_) observer_->on_deposit(da.collector, da.depositor);
   c.items.push_back(da.value);
   if (c.items.size() >= c.expected && c.waiting_token != 0) {
     // Wake the waiting task with a local remote-return.

@@ -41,6 +41,35 @@ struct TaskOptions {
   std::size_t code_bytes = 8192;
 };
 
+/// Observation interface for the navm layer (analysis tooling).  gather()
+/// and scatter() are the single funnel for every array access — local
+/// awaits and the remote window procedures both route through them — so
+/// these hooks see all shared-memory traffic.  Collector hooks expose the
+/// reduction rendezvous (the happens-before barrier of parallel phases).
+class RuntimeObserver {
+ public:
+  virtual ~RuntimeObserver() = default;
+
+  virtual void on_array_created(ArrayId id, sysvm::TaskId owner) {
+    (void)id;
+    (void)owner;
+  }
+  virtual void on_array_read(const Window& window) { (void)window; }
+  virtual void on_array_write(const Window& window) { (void)window; }
+
+  /// A deposit was accepted into a collector (post-deduplication).
+  virtual void on_deposit(std::uint64_t collector, sysvm::TaskId depositor) {
+    (void)collector;
+    (void)depositor;
+  }
+  /// The owner drained a full collector (the barrier's release point).
+  virtual void on_collector_take(std::uint64_t collector,
+                                 sysvm::TaskId owner) {
+    (void)collector;
+    (void)owner;
+  }
+};
+
 class Runtime {
  public:
   explicit Runtime(sysvm::Os& os);
@@ -103,6 +132,21 @@ class Runtime {
   std::vector<sysvm::Payload> collector_take(std::uint64_t id);
   void collector_arm(std::uint64_t id, sysvm::CallToken token);
 
+  /// Attach an observer (not owned; analysis tooling).  Pass nullptr to
+  /// detach.
+  void set_observer(RuntimeObserver* observer) { observer_ = observer; }
+
+  /// Collector state for deadlock analysis: an armed, underfull collector
+  /// at simulation idle means its owner waits forever.
+  struct CollectorInfo {
+    std::uint64_t id = 0;
+    sysvm::TaskId owner = sysvm::kNoTask;
+    std::size_t expected = 0;
+    std::size_t deposited = 0;
+    bool armed = false;
+  };
+  std::vector<CollectorInfo> collector_infos() const;
+
  private:
   struct Collector {
     std::size_t expected = 0;
@@ -130,6 +174,7 @@ class Runtime {
   std::map<std::uint64_t, Collector> collectors_;
   ArrayId next_array_ = 1;
   std::uint64_t next_collector_ = 1;
+  RuntimeObserver* observer_ = nullptr;
 };
 
 }  // namespace fem2::navm

@@ -1,0 +1,61 @@
+// Observation interface for the OS layer.  Analysis tooling (src/analyze)
+// installs an OsObserver to watch task steps, message traffic, and task
+// lifecycle without perturbing the simulation: every hook is a const view
+// of the event that just happened (or is about to), and the default
+// implementation of each hook is a no-op so the OS pays one pointer test
+// per hook site when no observer is attached.
+//
+// Hook ordering contract:
+//   on_task_created        after the task record exists (initiate decoded)
+//   on_step_begin/end      tightly bracket TaskProgram::resume(); all host
+//                          code of the step runs between them
+//   on_task_send           when a buffered send is applied to the wire,
+//                          after the step's cycles elapsed (per message)
+//   on_message             when a kernel decodes the message at `cluster`
+//   on_procedure_begin/end bracket a remote procedure's host execution
+//   on_task_finished       when the task transitions to Finished
+#pragma once
+
+#include "hw/config.hpp"
+#include "sysvm/message.hpp"
+
+namespace fem2::sysvm {
+
+class OsObserver {
+ public:
+  virtual ~OsObserver() = default;
+
+  virtual void on_task_created(TaskId task, TaskId parent) {
+    (void)task;
+    (void)parent;
+  }
+  virtual void on_task_finished(TaskId task) { (void)task; }
+
+  virtual void on_step_begin(TaskId task) { (void)task; }
+  virtual void on_step_end(TaskId task) { (void)task; }
+
+  /// `from` is the sending task (kNoTask for OS-internal traffic).
+  virtual void on_task_send(TaskId from, hw::ClusterId to,
+                            const Message& message) {
+    (void)from;
+    (void)to;
+    (void)message;
+  }
+  virtual void on_message(hw::ClusterId cluster, const Message& message) {
+    (void)cluster;
+    (void)message;
+  }
+
+  virtual void on_procedure_begin(const MsgRemoteCall& call,
+                                  hw::ClusterId cluster) {
+    (void)call;
+    (void)cluster;
+  }
+  virtual void on_procedure_end(const MsgRemoteCall& call,
+                                hw::ClusterId cluster) {
+    (void)call;
+    (void)cluster;
+  }
+};
+
+}  // namespace fem2::sysvm

@@ -275,6 +275,54 @@ Os::TaskInfo Os::task_info(TaskId task) const {
           rec.replication_count};
 }
 
+Os::WaitInfo Os::wait_info(TaskId task) const {
+  const auto& rec = record(task);
+  WaitInfo info;
+  if (rec.state != TaskState::Blocked && rec.state != TaskState::Paused)
+    return info;
+  using Kind = TaskApi::WaitIntent::Kind;
+  switch (rec.wait.kind) {
+    case Kind::None:
+      break;
+    case Kind::Reply:
+      info.kind = WaitInfo::Kind::Reply;
+      info.token = rec.wait.token;
+      break;
+    case Kind::ChildTerminations:
+      info.kind = WaitInfo::Kind::ChildTerminations;
+      info.count = rec.wait.count;
+      info.satisfied = rec.unconsumed_child_terms;
+      break;
+    case Kind::ChildPauses:
+      info.kind = WaitInfo::Kind::ChildPauses;
+      info.count = rec.wait.count;
+      info.satisfied = rec.unconsumed_child_pauses;
+      break;
+    case Kind::Pause:
+      info.kind = WaitInfo::Kind::Pause;
+      break;
+  }
+  return info;
+}
+
+std::vector<Os::PendingCallInfo> Os::pending_call_infos() const {
+  std::vector<PendingCallInfo> out;
+  out.reserve(pending_calls_.size());
+  for (const auto& [token, call] : pending_calls_)
+    out.push_back({token, call.caller, call.destination});
+  return out;
+}
+
+std::vector<Os::ChannelBacklog> Os::transport_backlog() const {
+  std::vector<ChannelBacklog> out;
+  for (const auto& [key, channel] : send_channels_) {
+    if (channel.unacked.empty()) continue;
+    out.push_back({hw::ClusterId{key.first}, hw::ClusterId{key.second},
+                   channel.unacked.size()});
+  }
+  return out;
+}
+
 std::size_t Os::ready_depth(hw::ClusterId cluster) const {
   FEM2_CHECK(cluster.valid() && cluster.index < clusters_.size());
   return clusters_[cluster.index].ready.size();
@@ -514,6 +562,7 @@ void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
 
 void Os::deliver(hw::ClusterId cluster, hw::ClusterId from,
                  Message&& message) {
+  if (observer_) observer_->on_message(cluster, message);
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -580,7 +629,9 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
                      "remote call to unknown procedure: " +
                          proc_work->call.procedure);
       ProcedureContext ctx{*this, pe.cluster};
+      if (observer_) observer_->on_procedure_begin(proc_work->call, pe.cluster);
       proc_work->result = it->second.fn(ctx, proc_work->call.args);
+      if (observer_) observer_->on_procedure_end(proc_work->call, pe.cluster);
       proc_work->cycles = std::max<hw::Cycles>(1, ctx.charged);
       proc_work->executed = true;
       metrics_.procedures_executed += 1;
@@ -623,7 +674,9 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
     rec.api->begin_step();
     Payload wake = std::move(rec.wake_value);
     rec.wake_value = Payload{};
+    if (observer_) observer_->on_step_begin(task);
     rec.step = rec.program->resume(std::move(wake));
+    if (observer_) observer_->on_step_end(task);
     rec.step_sends = std::move(rec.api->outgoing_);
     rec.api->outgoing_.clear();
     rec.step.cycles = std::max<hw::Cycles>(
@@ -669,8 +722,10 @@ void Os::complete_task_step(hw::PeId pe, TaskId task,
   }
 
   // Apply buffered sends.
-  for (auto& [dst, msg] : rec.step_sends)
+  for (auto& [dst, msg] : rec.step_sends) {
+    if (observer_) observer_->on_task_send(rec.id, dst, msg);
     send(rec.cluster, dst, std::move(msg));
+  }
   rec.step_sends.clear();
 
   switch (rec.step.outcome) {
@@ -693,6 +748,7 @@ void Os::finish_task(TaskRecord& rec) {
   rec.result = rec.program->take_result();
   metrics_.tasks_finished += 1;
   cluster_state(rec.cluster).live_load -= 1;
+  if (observer_) observer_->on_task_finished(rec.id);
 
   // Release the activation record and any task-owned heap blocks
   // ("data lifetime - lifetime of owner task").
@@ -714,7 +770,9 @@ void Os::finish_task(TaskRecord& rec) {
     m.child = rec.id;
     m.parent = rec.parent;
     m.result = rec.result;
-    send(rec.cluster, task_cluster(rec.parent), Message{std::move(m)});
+    const hw::ClusterId dst = task_cluster(rec.parent);
+    if (observer_) observer_->on_task_send(rec.id, dst, Message{m});
+    send(rec.cluster, dst, Message{std::move(m)});
   }
 }
 
@@ -1170,8 +1228,10 @@ void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
   rec.state = TaskState::Ready;
 
   const TaskId id = rec.id;
+  const TaskId parent = rec.parent;
   tasks_.emplace(id, std::move(rec));
   metrics_.tasks_initiated += 1;
+  if (observer_) observer_->on_task_created(id, parent);
   push_ready(cluster, id);
 }
 

@@ -33,6 +33,7 @@
 #include "hw/machine.hpp"
 #include "sysvm/heap.hpp"
 #include "sysvm/message.hpp"
+#include "sysvm/observe.hpp"
 
 namespace fem2::sysvm {
 
@@ -307,6 +308,37 @@ class Os {
   /// task_state this never throws).
   bool task_known(TaskId task) const { return tasks_.contains(task); }
 
+  /// Attach an observer (not owned; analysis tooling).  Pass nullptr to
+  /// detach.  At most one observer at a time.
+  void set_observer(OsObserver* observer) { observer_ = observer; }
+
+  // --- wait-state introspection (deadlock analysis) -------------------------
+  /// Why a task is not running, exposed without touching TaskApi internals.
+  struct WaitInfo {
+    enum class Kind { None, Reply, ChildTerminations, ChildPauses, Pause };
+    Kind kind = Kind::None;
+    CallToken token = 0;      ///< for Kind::Reply
+    std::size_t count = 0;    ///< for child waits: how many it asked for
+    std::size_t satisfied = 0;  ///< events already banked toward `count`
+  };
+  WaitInfo wait_info(TaskId task) const;
+
+  /// Remote calls whose return has not been delivered.
+  struct PendingCallInfo {
+    CallToken token = 0;
+    TaskId caller = kNoTask;
+    hw::ClusterId destination;
+  };
+  std::vector<PendingCallInfo> pending_call_infos() const;
+
+  /// Reliable-transport frames sent but not yet acknowledged, per channel.
+  struct ChannelBacklog {
+    hw::ClusterId source;
+    hw::ClusterId destination;
+    std::size_t unacked = 0;
+  };
+  std::vector<ChannelBacklog> transport_backlog() const;
+
  private:
   friend class TaskApi;
 
@@ -486,6 +518,7 @@ class Os {
   std::map<ChannelKey, RecvChannel> recv_channels_;
   std::map<CallToken, PendingCall> pending_calls_;
   TaskReaper task_reaper_;
+  OsObserver* observer_ = nullptr;
 };
 
 }  // namespace fem2::sysvm
