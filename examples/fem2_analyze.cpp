@@ -1,6 +1,6 @@
 // fem2_analyze — static + dynamic analysis CLI over the FEM-2 stack.
 //
-//   fem2_analyze --lint-grammars            lint the four built-in layer
+//   fem2_analyze --lint-grammars            lint the five built-in layer
 //                                           grammars (exit 1 on any finding;
 //                                           registered as a tier-1 test)
 //   fem2_analyze --lint-file FILE           parse + lint a grammar file
@@ -40,7 +40,7 @@ int report(const std::vector<analyze::Finding>& findings,
 }
 
 int lint_grammars() {
-  std::cout << "linting built-in layer grammars (appvm, navm, sysvm, hw)\n";
+  std::cout << "linting built-in layer grammars (appvm, db, navm, sysvm, hw)\n";
   return report(analyze::Analyzer::lint_layer_grammars(),
                 analyze::Severity::Info);
 }

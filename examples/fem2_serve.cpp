@@ -1,0 +1,265 @@
+// fem2_serve: a multi-session workload driver that hammers one shared
+// fem2-db database from K concurrent sessions — "provide multi-user
+// access" pushed to the point where optimistic concurrency has to earn
+// its keep.  Each worker runs a real interactive Session (the command
+// language, not raw engine calls) and mixes:
+//
+//   * compare-and-swap stores (`store <name> if-rev=N`) with retry on
+//     conflict — the two-engineers-race-on-one-bridge scenario,
+//   * transactional batches (begin / store a, b / commit),
+//   * retrieves, history reads and directory listings.
+//
+// At the end the driver checks a global invariant: every name's final
+// revision must equal the number of successful stores to it (no lost or
+// phantom writes), and with --smoke it also reopens the database from
+// disk to prove recovery sees the same state.
+//
+// usage: fem2_serve [--sessions=K] [--ops=N] [--dir=PATH] [--seed=S]
+//                   [--smoke]
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "appvm/command.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using fem2::appvm::Database;
+using fem2::appvm::Session;
+
+namespace {
+
+struct WorkerResult {
+  std::uint64_t stores = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t retrieves = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t errors = 0;
+};
+
+const std::vector<std::string> kNames = {"bridge", "jib-boom", "panel",
+                                         "deck-plate", "mast"};
+
+void worker(Database& db, unsigned index, std::size_t ops,
+            std::uint64_t seed, WorkerResult& out,
+            std::vector<std::atomic<std::uint64_t>>& stores_per_name) {
+  Session session(db, "worker-" + std::to_string(index));
+  fem2::support::Rng rng(seed);
+  // A small private model to store; bays vary so payloads differ.
+  session.execute("mesh truss bays=" + std::to_string(2 + index % 4) +
+                  " load=" + std::to_string(100 + index));
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::size_t pick = rng.next_below(kNames.size());
+    const std::string& name = kNames[pick];
+    const double dice = rng.uniform();
+
+    if (dice < 0.60) {
+      // Optimistic store: read the revision, CAS, retry on conflict.
+      bool stored = false;
+      for (int attempt = 0; attempt < 1000 && !stored; ++attempt) {
+        const auto rev = db.revision(name);
+        const auto r = session.execute("store " + name +
+                                       " if-rev=" + std::to_string(rev));
+        if (r.ok) {
+          out.stores += 1;
+          stores_per_name[pick] += 1;
+          stored = true;
+        } else {
+          out.conflicts += 1;
+        }
+      }
+      if (!stored) out.errors += 1;
+    } else if (dice < 0.75) {
+      // Transactional batch: two stores, one atomic commit point.
+      const std::size_t other = rng.next_below(kNames.size());
+      bool ok = session.execute("begin").ok;
+      ok = ok && session.execute("store " + name).ok;
+      ok = ok && session.execute("store " + kNames[other]).ok;
+      ok = ok && session.execute("commit").ok;
+      if (ok) {
+        out.txns += 1;
+        out.stores += 2;
+        stores_per_name[pick] += 1;
+        stores_per_name[other] += 1;
+      } else {
+        out.errors += 1;
+      }
+    } else if (dice < 0.90) {
+      if (db.contains(name)) {
+        if (session.execute("retrieve " + name).ok)
+          out.retrieves += 1;
+        else
+          out.errors += 1;
+        // Leave the workspace with a model we can store next op.
+      }
+    } else {
+      session.execute(rng.chance(0.5) ? "history " + name : "list");
+      out.retrieves += 1;
+    }
+  }
+}
+
+struct RunReport {
+  WorkerResult totals;
+  double elapsed_ms = 0.0;
+  bool consistent = true;
+};
+
+RunReport run_sessions(Database& db, std::size_t sessions, std::size_t ops,
+                       std::uint64_t seed) {
+  std::vector<WorkerResult> results(sessions);
+  std::vector<std::atomic<std::uint64_t>> stores_per_name(kNames.size());
+  // The database may be pre-populated (a rerun over a persistent
+  // directory): the invariant is on revisions gained THIS run.
+  std::vector<std::uint64_t> initial_revision(kNames.size());
+  for (std::size_t i = 0; i < kNames.size(); ++i)
+    initial_revision[i] = db.revision(kNames[i]);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      threads.emplace_back(worker, std::ref(db), static_cast<unsigned>(i),
+                           ops, seed + i, std::ref(results[i]),
+                           std::ref(stores_per_name));
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunReport report;
+  report.elapsed_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  for (const auto& r : results) {
+    report.totals.stores += r.stores;
+    report.totals.conflicts += r.conflicts;
+    report.totals.retrieves += r.retrieves;
+    report.totals.txns += r.txns;
+    report.totals.errors += r.errors;
+  }
+  // No lost writes, no phantom writes: every successful store bumped its
+  // name's revision by exactly one.
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    const std::uint64_t expected = initial_revision[i] + stores_per_name[i];
+    if (db.revision(kNames[i]) != expected) {
+      std::cerr << "INCONSISTENT: '" << kNames[i] << "' at revision "
+                << db.revision(kNames[i]) << ", expected " << expected
+                << " after " << stores_per_name[i] << " successful stores\n";
+      report.consistent = false;
+    }
+  }
+  return report;
+}
+
+std::uint64_t arg_value(const std::string& arg, std::uint64_t fallback) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) return fallback;
+  return std::strtoull(arg.c_str() + eq + 1, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 8;
+  std::size_t ops = 200;
+  std::uint64_t seed = 42;
+  std::string dir;
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with("--sessions=")) {
+      sessions = arg_value(arg, sessions);
+    } else if (arg.starts_with("--ops=")) {
+      ops = arg_value(arg, ops);
+    } else if (arg.starts_with("--seed=")) {
+      seed = arg_value(arg, seed);
+    } else if (arg.starts_with("--dir=")) {
+      dir = arg.substr(6);
+    } else if (arg == "--smoke") {
+      smoke = true;
+      sessions = 4;
+      ops = 30;
+    } else {
+      std::cerr << "usage: fem2_serve [--sessions=K] [--ops=N] [--dir=PATH]"
+                   " [--seed=S] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  // Smoke mode gets a throwaway persistent directory so the WAL, the
+  // checkpointer and recovery all run (sanitized in CI).
+  std::filesystem::path smoke_dir;
+  if (smoke && dir.empty()) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "fem2_serve_XXXXXX")
+            .string();
+    if (!::mkdtemp(tmpl.data())) {
+      std::cerr << "cannot create smoke directory\n";
+      return 1;
+    }
+    smoke_dir = tmpl;
+    dir = tmpl;
+  }
+
+  bool ok = true;
+  {
+    Database db = dir.empty() ? Database() : Database(dir);
+    std::cout << "fem2_serve: " << sessions << " sessions x " << ops
+              << " ops on " << (dir.empty() ? "an in-memory" : "a persistent")
+              << " database\n";
+    const RunReport report = run_sessions(db, sessions, ops, seed);
+
+    fem2::support::Table table("multi-session workload");
+    table.set_header({"sessions", "ops", "stores", "txns", "conflicts",
+                      "retrieves", "errors", "ms", "commits/s"});
+    const auto& t = report.totals;
+    const double commits_per_s =
+        report.elapsed_ms > 0.0
+            ? 1000.0 * static_cast<double>(t.stores + t.txns) /
+                  report.elapsed_ms
+            : 0.0;
+    table.row()
+        .cell(static_cast<std::uint64_t>(sessions))
+        .cell(static_cast<std::uint64_t>(ops))
+        .cell(t.stores)
+        .cell(t.txns)
+        .cell(t.conflicts)
+        .cell(t.retrieves)
+        .cell(t.errors)
+        .cell(report.elapsed_ms, 1)
+        .cell(commits_per_s, 0);
+    table.print(std::cout);
+    ok = report.consistent && t.errors == 0;
+
+    if (!dir.empty()) {
+      // Recovery check: a fresh engine over the same directory must see
+      // exactly the surviving state.
+      const auto before = db.list();
+      Database reopened(dir);
+      bool recovery_ok = true;
+      for (const auto& entry : before) {
+        if (reopened.revision(entry.name) != entry.revision) {
+          std::cerr << "RECOVERY MISMATCH on '" << entry.name << "'\n";
+          recovery_ok = false;
+        }
+      }
+      std::cout << "recovery check: " << before.size()
+                << " entries reopened from disk"
+                << (recovery_ok ? "" : " — MISMATCH") << "\n";
+      ok = ok && recovery_ok;
+    }
+  }
+
+  if (!smoke_dir.empty()) std::filesystem::remove_all(smoke_dir);
+  std::cout << (ok ? "fem2_serve: ok\n" : "fem2_serve: FAILED\n");
+  return ok ? 0 : 1;
+}

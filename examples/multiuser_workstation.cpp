@@ -4,7 +4,9 @@
 // user-request-level parallelism is the first of the paper's three levels.
 // Here two sessions work over one shared database: one designs a truss, the
 // other a frame; each retrieves and checks the other's model.
+#include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "appvm/command.hpp"
 
@@ -55,5 +57,30 @@ int main() {
        {"retrieve bridge", "solve deck using pcg", "show displacements"}) {
     if (!run(bob, "[bob]  ", line)) return 1;
   }
+
+  // Conflict detection: both engineers revise the bridge concurrently.
+  // Each read it at the same revision; the first optimistic store wins,
+  // the second is rejected, retrieves the fresh copy and retries.
+  std::cout << "\n-- optimistic concurrency on 'bridge' --\n";
+  const std::uint64_t rev = shared.revision("bridge");
+  const std::string if_rev = " if-rev=" + std::to_string(rev);
+  if (!run(alice, "[alice]", "retrieve bridge")) return 1;
+  if (!run(alice, "[alice]", "load deck 2 1 -250")) return 1;
+  if (!run(alice, "[alice]", ("store bridge" + if_rev).c_str())) return 1;
+  if (!run(bob, "[bob]  ", "load deck 3 1 -99")) return 1;
+  // Bob still holds the old revision — this store must be refused.
+  if (run(bob, "[bob]  ", ("store bridge" + if_rev).c_str())) {
+    std::cerr << "expected a revision conflict for bob\n";
+    return 1;
+  }
+  // Retry protocol: re-read, re-apply the change, store against the
+  // revision actually seen.
+  const std::string retry =
+      "store bridge if-rev=" + std::to_string(shared.revision("bridge"));
+  for (const char* line : {"retrieve bridge", "load deck 3 1 -99"}) {
+    if (!run(bob, "[bob]  ", line)) return 1;
+  }
+  if (!run(bob, "[bob]  ", retry.c_str())) return 1;
+  if (!run(alice, "[alice]", "history bridge")) return 1;
   return 0;
 }

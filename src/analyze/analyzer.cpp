@@ -51,6 +51,7 @@ std::vector<Finding> Analyzer::lint_layer_grammars() {
   };
   run(spec::appvm_grammar(), "appvm", Layer::Appvm,
       {"workspace", "database"});
+  run(spec::db_grammar(), "db", Layer::Db, {"dbengine"});
   run(spec::navm_grammar(), "navm", Layer::Navm, {"window", "tasksystem"});
   run(spec::sysvm_grammar(), "sysvm", Layer::Sysvm,
       {"codeblock", "message", "activation", "kernel"});

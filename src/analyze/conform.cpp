@@ -37,6 +37,7 @@ void ConformanceChecker::set_grammar(Layer layer, hgraph::Grammar grammar) {
       hw_grammar_ = std::move(grammar);
       break;
     case Layer::Appvm:
+    case Layer::Db:
     case Layer::None:
       break;
   }

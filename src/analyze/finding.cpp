@@ -26,6 +26,7 @@ std::string_view severity_name(Severity s) {
 std::string_view layer_name(Layer l) {
   switch (l) {
     case Layer::Appvm: return "appvm";
+    case Layer::Db: return "db";
     case Layer::Navm: return "navm";
     case Layer::Sysvm: return "sysvm";
     case Layer::Hw: return "hw";

@@ -18,7 +18,7 @@ enum class Severity { Info, Warning, Error };
 std::string_view severity_name(Severity s);
 
 /// Which VM layer the finding is about (matches src/spec/layers.hpp).
-enum class Layer { Appvm, Navm, Sysvm, Hw, None };
+enum class Layer { Appvm, Db, Navm, Sysvm, Hw, None };
 std::string_view layer_name(Layer l);
 
 struct Finding {

@@ -99,6 +99,16 @@ fem::ElementType element_from_name(const std::string& name) {
 Session::Session(Database& database, std::string user)
     : database_(database), user_(std::move(user)) {}
 
+Session::~Session() {
+  if (txn_) {
+    try {
+      database_.abort(*txn_);
+    } catch (const support::Error&) {
+      // The engine may already have dropped it (e.g. conflicted commit).
+    }
+  }
+}
+
 Response Session::execute(const std::string& line) {
   const auto trimmed = support::trim(line);
   if (trimmed.empty() || trimmed.starts_with('#')) return {true, ""};
@@ -143,6 +153,10 @@ Response Session::dispatch(const std::vector<std::string>& tokens) {
   if (cmd == "retrieve") return cmd_retrieve(tokens);
   if (cmd == "list") return cmd_list(tokens);
   if (cmd == "remove") return cmd_remove(tokens);
+  if (cmd == "begin") return cmd_begin(tokens);
+  if (cmd == "commit") return cmd_commit(tokens);
+  if (cmd == "abort") return cmd_abort(tokens);
+  if (cmd == "history") return cmd_history(tokens);
   if (cmd == "save") return cmd_save(tokens);
   if (cmd == "open") return cmd_open(tokens);
   return {false, "unknown command '" + cmd + "' (try 'help')"};
@@ -370,21 +384,57 @@ Response Session::cmd_show(const std::vector<std::string>& tokens) {
 }
 
 Response Session::cmd_store(const std::vector<std::string>& tokens) {
-  if (tokens.size() == 2) {
-    database_.store_model(tokens[1], workspace_.model());
-    return {true, "stored model as '" + tokens[1] + "'"};
+  constexpr const char* kUsage =
+      "usage: store <name> [if-rev=N] | store results <name> [if-rev=N]";
+  const bool results = tokens.size() >= 3 && tokens[1] == "results";
+  const std::size_t name_at = results ? 2 : 1;
+  if (tokens.size() <= name_at) return {false, kUsage};
+  const std::string& name = tokens[name_at];
+  std::uint64_t expected = Database::kAnyRevision;
+  for (std::size_t i = name_at + 1; i < tokens.size(); ++i) {
+    if (!tokens[i].starts_with("if-rev=")) return {false, kUsage};
+    expected = to_index(tokens[i].substr(7));
   }
-  if (tokens.size() == 3 && tokens[1] == "results") {
-    database_.store_results(tokens[2], workspace_.results());
-    return {true, "stored results as '" + tokens[2] + "'"};
+
+  if (txn_) {
+    if (results)
+      database_.store_results(*txn_, name, workspace_.results(), expected);
+    else
+      database_.store_model(*txn_, name, workspace_.model(), expected);
+    return {true, "store of '" + name + "' buffered in txn " +
+                      std::to_string(*txn_)};
   }
-  return {false, "usage: store <name> | store results <name>"};
+  if (results) {
+    const auto rev =
+        database_.store_results(name, workspace_.results(), expected);
+    return {true, "stored results as '" + name + "' rev " +
+                      std::to_string(rev)};
+  }
+  const auto rev = database_.store_model(name, workspace_.model(), expected);
+  return {true, "stored model as '" + name + "' rev " + std::to_string(rev)};
 }
 
 Response Session::cmd_retrieve(const std::vector<std::string>& tokens) {
-  if (tokens.size() != 2) return {false, "usage: retrieve <name>"};
-  workspace_.set_model(database_.retrieve_model(tokens[1]));
-  return {true, "retrieved model '" + tokens[1] + "' into the workspace"};
+  if (tokens.size() < 2 || tokens.size() > 3)
+    return {false, "usage: retrieve <name> [rev=N]"};
+  const std::string& name = tokens[1];
+  if (tokens.size() == 3) {
+    if (!tokens[2].starts_with("rev="))
+      return {false, "usage: retrieve <name> [rev=N]"};
+    const std::uint64_t rev = to_index(tokens[2].substr(4));
+    workspace_.set_model(database_.retrieve_model(name, rev));
+    return {true, "retrieved model '" + name + "' rev " +
+                      std::to_string(rev) + " into the workspace"};
+  }
+  if (txn_) {
+    workspace_.set_model(database_.retrieve_model(*txn_, name));
+    return {true, "retrieved model '" + name +
+                      "' into the workspace (txn view)"};
+  }
+  workspace_.set_model(database_.retrieve_model(name));
+  return {true, "retrieved model '" + name + "' rev " +
+                    std::to_string(database_.revision(name)) +
+                    " into the workspace"};
 }
 
 Response Session::cmd_list(const std::vector<std::string>&) {
@@ -400,10 +450,76 @@ Response Session::cmd_list(const std::vector<std::string>&) {
 }
 
 Response Session::cmd_remove(const std::vector<std::string>& tokens) {
-  if (tokens.size() != 2) return {false, "usage: remove <name>"};
-  if (!database_.remove(tokens[1]))
-    return {false, "database has no entry '" + tokens[1] + "'"};
-  return {true, "removed '" + tokens[1] + "'"};
+  constexpr const char* kUsage = "usage: remove <name> [if-rev=N]";
+  if (tokens.size() < 2 || tokens.size() > 3) return {false, kUsage};
+  const std::string& name = tokens[1];
+  std::uint64_t expected = Database::kAnyRevision;
+  if (tokens.size() == 3) {
+    if (!tokens[2].starts_with("if-rev=")) return {false, kUsage};
+    expected = to_index(tokens[2].substr(7));
+  }
+  if (txn_) {
+    database_.remove(*txn_, name, expected);
+    return {true, "remove of '" + name + "' buffered in txn " +
+                      std::to_string(*txn_)};
+  }
+  if (!database_.remove(name, expected))
+    return {false, "database has no entry '" + name + "'"};
+  return {true, "removed '" + name + "'"};
+}
+
+Response Session::cmd_begin(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) return {false, "usage: begin"};
+  if (txn_)
+    return {false, "transaction " + std::to_string(*txn_) +
+                       " already open (commit or abort first)"};
+  txn_ = database_.begin();
+  return {true, "begin txn " + std::to_string(*txn_)};
+}
+
+Response Session::cmd_commit(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) return {false, "usage: commit"};
+  if (!txn_) return {false, "no open transaction (begin first)"};
+  const std::uint64_t txn = *txn_;
+  txn_.reset();  // the engine drops the transaction either way
+  try {
+    const std::size_t writes = database_.commit(txn);
+    return {true, "committed txn " + std::to_string(txn) + " (" +
+                      std::to_string(writes) + " writes)"};
+  } catch (const db::ConflictError& e) {
+    return {false, std::string(e.what()) +
+                       " — transaction dropped; retrieve and retry with "
+                       "if-rev=" +
+                       std::to_string(e.actual())};
+  }
+}
+
+Response Session::cmd_abort(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) return {false, "usage: abort"};
+  if (!txn_) return {false, "no open transaction (begin first)"};
+  database_.abort(*txn_);
+  const std::uint64_t txn = *txn_;
+  txn_.reset();
+  return {true, "aborted txn " + std::to_string(txn)};
+}
+
+Response Session::cmd_history(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return {false, "usage: history <name>"};
+  const auto versions = database_.history(tokens[1]);
+  if (versions.empty())
+    return {false, "database has no history for '" + tokens[1] + "'"};
+  std::ostringstream os;
+  for (const auto& v : versions) {
+    os << "rev " << v.revision << " ";
+    if (v.deleted)
+      os << "deleted";
+    else
+      os << v.kind << " (" << v.bytes << " bytes)";
+    os << " txn " << v.txn << "\n";
+  }
+  std::string text = os.str();
+  text.pop_back();
+  return {true, text};
 }
 
 Response Session::cmd_save(const std::vector<std::string>& tokens) {
@@ -442,9 +558,16 @@ std::string Session::help_text() {
       "  modes [count]                        natural frequencies\n"
       "  stresses                             recover element stresses\n"
       "  show model|displacements [node]|peak\n"
-      "  store <name> / store results <name>  save to the shared database\n"
-      "  retrieve <name>                      load a model from the database\n"
-      "  list / remove <name>                 database operations\n"
+      "  store <name> [if-rev=N]              save model to the shared database\n"
+      "  store results <name> [if-rev=N]      save results; if-rev=N commits\n"
+      "                                       only if the entry is at rev N\n"
+      "                                       (optimistic concurrency)\n"
+      "  retrieve <name> [rev=N]              load a model from the database\n"
+      "                                       (rev=N reads an old version)\n"
+      "  list / remove <name> [if-rev=N]      database operations\n"
+      "  history <name>                       version chain of an entry\n"
+      "  begin / commit / abort               group stores into one atomic,\n"
+      "                                       durable transaction\n"
       "  save <file> / open <file>            model files on disk\n"
       "  help";
 }

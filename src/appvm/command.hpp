@@ -4,6 +4,7 @@
 // database model the multi-user workstation.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@ struct Response {
 class Session {
  public:
   explicit Session(Database& database, std::string user = "engineer");
+  /// Abandons (aborts) any transaction still open.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   /// Interpret one command line.  Errors come back as ok=false responses,
   /// never exceptions — an interactive console must survive typos.
@@ -34,6 +40,9 @@ class Session {
   const Workspace& workspace() const { return workspace_; }
   Database& database() { return database_; }
   const std::string& user() const { return user_; }
+
+  /// Open transaction id, when `begin` has run and not yet committed.
+  std::optional<std::uint64_t> transaction() const { return txn_; }
 
   /// Command language reference (the `help` command's output).
   static std::string help_text();
@@ -57,12 +66,17 @@ class Session {
   Response cmd_retrieve(const std::vector<std::string>& tokens);
   Response cmd_list(const std::vector<std::string>& tokens);
   Response cmd_remove(const std::vector<std::string>& tokens);
+  Response cmd_begin(const std::vector<std::string>& tokens);
+  Response cmd_commit(const std::vector<std::string>& tokens);
+  Response cmd_abort(const std::vector<std::string>& tokens);
+  Response cmd_history(const std::vector<std::string>& tokens);
   Response cmd_save(const std::vector<std::string>& tokens);
   Response cmd_open(const std::vector<std::string>& tokens);
 
   Database& database_;
   Workspace workspace_;
   std::string user_;
+  std::optional<std::uint64_t> txn_;
 };
 
 }  // namespace fem2::appvm

@@ -4,59 +4,145 @@
 
 namespace fem2::appvm {
 
-void Database::store_model(const std::string& name,
-                           const fem::StructureModel& model) {
-  auto& entry = models_[name];
-  entry.text = serialize_model(model);
-  entry.revision += 1;
+namespace {
+
+constexpr const char* kModelKind = "model";
+constexpr const char* kResultsKind = "results";
+
+}  // namespace
+
+Database::Database() : engine_(std::make_shared<db::Engine>()) {}
+
+Database::Database(const std::string& directory)
+    : engine_(std::make_shared<db::Engine>(
+          db::EngineOptions{.directory = directory})) {}
+
+Database::Database(db::EngineOptions options)
+    : engine_(std::make_shared<db::Engine>(std::move(options))) {}
+
+Database::Database(std::shared_ptr<db::Engine> engine)
+    : engine_(std::move(engine)) {
+  FEM2_CHECK_MSG(engine_ != nullptr, "database needs an engine");
+}
+
+db::ObjectView Database::fetch(const std::string& name,
+                               const char* kind) const {
+  auto view = engine_->get(name);
+  if (!view)
+    throw support::Error("database has no " + std::string(kind) +
+                         " named '" + name + "'");
+  if (view->kind != kind)
+    throw support::Error("database entry '" + name + "' is a " + view->kind +
+                         ", not a " + kind);
+  return *std::move(view);
+}
+
+std::uint64_t Database::store_model(const std::string& name,
+                                    const fem::StructureModel& model,
+                                    std::uint64_t expected) {
+  return engine_->put(name, kModelKind, serialize_model(model), expected);
 }
 
 fem::StructureModel Database::retrieve_model(const std::string& name) const {
-  const auto it = models_.find(name);
-  if (it == models_.end())
+  return parse_model(fetch(name, kModelKind).value);
+}
+
+fem::StructureModel Database::retrieve_model(const std::string& name,
+                                             std::uint64_t revision) const {
+  const auto view = engine_->get_at(name, revision);
+  if (!view)
+    throw support::Error("database has no model named '" + name +
+                         "' at revision " + std::to_string(revision));
+  if (view->kind != kModelKind)
+    throw support::Error("database entry '" + name + "' rev " +
+                         std::to_string(revision) + " is a " + view->kind +
+                         ", not a model");
+  return parse_model(view->value);
+}
+
+std::uint64_t Database::store_results(const std::string& name,
+                                      const fem::AnalysisResult& results,
+                                      std::uint64_t expected) {
+  return engine_->put(name, kResultsKind, serialize_results(results),
+                      expected);
+}
+
+fem::AnalysisResult Database::retrieve_results(const std::string& name) const {
+  return parse_results(fetch(name, kResultsKind).value);
+}
+
+std::uint64_t Database::begin() { return engine_->begin(); }
+
+void Database::store_model(std::uint64_t txn, const std::string& name,
+                           const fem::StructureModel& model,
+                           std::uint64_t expected) {
+  engine_->put(txn, name, kModelKind, serialize_model(model), expected);
+}
+
+void Database::store_results(std::uint64_t txn, const std::string& name,
+                             const fem::AnalysisResult& results,
+                             std::uint64_t expected) {
+  engine_->put(txn, name, kResultsKind, serialize_results(results), expected);
+}
+
+void Database::remove(std::uint64_t txn, const std::string& name,
+                      std::uint64_t expected) {
+  engine_->erase(txn, name, expected);
+}
+
+fem::StructureModel Database::retrieve_model(std::uint64_t txn,
+                                             const std::string& name) const {
+  const auto view = engine_->get(txn, name);
+  if (!view)
     throw support::Error("database has no model named '" + name + "'");
-  return parse_model(it->second.text);
+  if (view->kind != kModelKind)
+    throw support::Error("database entry '" + name + "' is a " + view->kind +
+                         ", not a model");
+  return parse_model(view->value);
 }
 
-void Database::store_results(const std::string& name,
-                             fem::AnalysisResult results) {
-  auto& entry = results_[name];
-  entry.results = std::move(results);
-  entry.revision += 1;
+std::size_t Database::commit(std::uint64_t txn) {
+  return engine_->commit(txn);
 }
 
-const fem::AnalysisResult& Database::retrieve_results(
-    const std::string& name) const {
-  const auto it = results_.find(name);
-  if (it == results_.end())
-    throw support::Error("database has no results named '" + name + "'");
-  return it->second.results;
-}
+void Database::abort(std::uint64_t txn) { engine_->abort(txn); }
 
 bool Database::contains(const std::string& name) const {
-  return models_.contains(name) || results_.contains(name);
+  return engine_->contains(name);
 }
 
-bool Database::remove(const std::string& name) {
-  return models_.erase(name) > 0 || results_.erase(name) > 0;
+bool Database::remove(const std::string& name, std::uint64_t expected) {
+  return engine_->erase(name, expected);
 }
 
 std::vector<DatabaseEntryInfo> Database::list() const {
   std::vector<DatabaseEntryInfo> out;
-  for (const auto& [name, entry] : models_)
-    out.push_back({name, "model", entry.text.size(), entry.revision});
-  for (const auto& [name, entry] : results_) {
-    const std::size_t bytes =
-        entry.results.solution.displacements.values.size() * sizeof(double) +
-        entry.results.stresses.size() * sizeof(fem::ElementStress);
-    out.push_back({name, "results", bytes, entry.revision});
-  }
+  for (auto& entry : engine_->list())
+    out.push_back(DatabaseEntryInfo{std::move(entry.name),
+                                    std::move(entry.kind), entry.bytes,
+                                    entry.revision});
   return out;
 }
 
+std::vector<DatabaseVersionInfo> Database::history(
+    const std::string& name) const {
+  std::vector<DatabaseVersionInfo> out;
+  for (auto& version : engine_->history(name))
+    out.push_back(DatabaseVersionInfo{version.revision,
+                                      std::move(version.kind), version.bytes,
+                                      version.txn, version.deleted});
+  return out;
+}
+
+std::uint64_t Database::revision(const std::string& name) const {
+  return engine_->revision_of(name);
+}
+
+std::size_t Database::size() const { return engine_->size(); }
+
 std::size_t Database::storage_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& info : list()) bytes += info.bytes;
+  for (const auto& info : engine_->list()) bytes += info.bytes;
   return bytes;
 }
 

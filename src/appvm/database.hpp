@@ -1,14 +1,22 @@
 // The application user's "data base (long-term storage; shared data)":
 // a named store of serialized models and analysis results, shared by all
 // user sessions (multi-user access is one of the FEM-2 requirements).
+//
+// Since fem2-db this is a thin façade over db::Engine: entries live in one
+// namespace of MVCC version chains, writes go through the write-ahead log
+// (when a data directory is configured), and every store may carry an
+// expected revision — two sessions racing on `store bridge` get a clean
+// db::ConflictError instead of silent clobbering.  The default constructor
+// keeps the historical in-memory behavior as the engine's degenerate mode.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "db/engine.hpp"
 #include "fem/analysis.hpp"
 #include "fem/model.hpp"
 
@@ -21,38 +29,92 @@ struct DatabaseEntryInfo {
   std::uint64_t revision = 0;
 };
 
+/// One MVCC version of a database entry.
+struct DatabaseVersionInfo {
+  std::uint64_t revision = 0;
+  std::string kind;
+  std::size_t bytes = 0;
+  std::uint64_t txn = 0;
+  bool deleted = false;
+};
+
 class Database {
  public:
-  /// Store (serialize) a model under `name`; bumps the revision if present.
-  void store_model(const std::string& name, const fem::StructureModel& model);
+  /// Unconditional store (no optimistic-concurrency expectation).
+  static constexpr std::uint64_t kAnyRevision = db::kAnyRevision;
 
-  /// Retrieve (parse) a stored model.  Throws support::Error if absent.
+  /// In-memory database (the engine's degenerate mode; nothing persists).
+  Database();
+  /// Persistent database rooted at `directory` (created if absent);
+  /// recovers from snapshot + write-ahead log before returning.
+  explicit Database(const std::string& directory);
+  /// Full control over engine tuning (history window, compaction, fsync).
+  explicit Database(db::EngineOptions options);
+  /// Share an existing engine (several façades over one store).
+  explicit Database(std::shared_ptr<db::Engine> engine);
+
+  /// Store (serialize) a model under `name`.  `expected` is the optimistic
+  /// check: kAnyRevision = unconditional, 0 = must not exist, N = current
+  /// revision must be N (throws db::ConflictError otherwise).  Returns the
+  /// new revision.
+  std::uint64_t store_model(const std::string& name,
+                            const fem::StructureModel& model,
+                            std::uint64_t expected = kAnyRevision);
+
+  /// Retrieve (parse) a stored model.  Throws support::Error if absent or
+  /// not a model.
   fem::StructureModel retrieve_model(const std::string& name) const;
+  /// MVCC read of a historical revision still in the history window.
+  fem::StructureModel retrieve_model(const std::string& name,
+                                     std::uint64_t revision) const;
 
-  void store_results(const std::string& name, fem::AnalysisResult results);
-  const fem::AnalysisResult& retrieve_results(const std::string& name) const;
+  std::uint64_t store_results(const std::string& name,
+                              const fem::AnalysisResult& results,
+                              std::uint64_t expected = kAnyRevision);
+  /// Returns by value: entries are shared mutable state, and a reference
+  /// into the store would dangle across a concurrent store/remove.
+  fem::AnalysisResult retrieve_results(const std::string& name) const;
+
+  // --- transactions (grouped writes with one commit point) ---------------
+  std::uint64_t begin();
+  void store_model(std::uint64_t txn, const std::string& name,
+                   const fem::StructureModel& model,
+                   std::uint64_t expected = kAnyRevision);
+  void store_results(std::uint64_t txn, const std::string& name,
+                     const fem::AnalysisResult& results,
+                     std::uint64_t expected = kAnyRevision);
+  void remove(std::uint64_t txn, const std::string& name,
+              std::uint64_t expected = kAnyRevision);
+  /// Read-your-writes retrieve inside a transaction.
+  fem::StructureModel retrieve_model(std::uint64_t txn,
+                                     const std::string& name) const;
+  /// Returns the number of writes applied; throws db::ConflictError (and
+  /// drops the transaction) when an expected revision no longer holds.
+  std::size_t commit(std::uint64_t txn);
+  void abort(std::uint64_t txn);
 
   bool contains(const std::string& name) const;
-  bool remove(const std::string& name);
+  /// Returns false when absent; throws db::ConflictError when `expected`
+  /// names a revision the entry is no longer at.
+  bool remove(const std::string& name,
+              std::uint64_t expected = kAnyRevision);
   std::vector<DatabaseEntryInfo> list() const;
-  std::size_t size() const { return models_.size() + results_.size(); }
+  /// Version chain of an entry, oldest first (empty when never stored).
+  std::vector<DatabaseVersionInfo> history(const std::string& name) const;
+  /// Current revision of a live entry; 0 when absent.
+  std::uint64_t revision(const std::string& name) const;
+  std::size_t size() const;
 
   /// Total serialized bytes held (storage accounting).
   std::size_t storage_bytes() const;
 
- private:
-  struct ModelEntry {
-    std::string text;  ///< serialized form — the database stores records,
-                       ///< not live objects (a workspace copy is private)
-    std::uint64_t revision = 0;
-  };
-  struct ResultsEntry {
-    fem::AnalysisResult results;
-    std::uint64_t revision = 0;
-  };
+  db::Engine& engine() { return *engine_; }
+  const db::Engine& engine() const { return *engine_; }
 
-  std::map<std::string, ModelEntry> models_;
-  std::map<std::string, ResultsEntry> results_;
+ private:
+  db::ObjectView fetch(const std::string& name, const char* kind) const;
+
+  std::shared_ptr<db::Engine> engine_;
 };
 
 }  // namespace fem2::appvm

@@ -1,5 +1,6 @@
 #include "appvm/serialize.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 
@@ -169,7 +170,158 @@ fem::StructureModel parse_model(const std::string& text) {
   }
   if (!saw_model)
     throw SerializeError("model text has no 'model <name>' record");
+
+  // Structural validation — the database must never hand a session an
+  // unusable model (records may arrive in any order, so check at the end).
+  for (std::size_t i = 0; i < model.elements.size(); ++i) {
+    const auto& e = model.elements[i];
+    if (e.material >= std::max<std::size_t>(model.materials.size(), 1))
+      throw SerializeError("element " + std::to_string(i) +
+                           " references missing material " +
+                           std::to_string(e.material));
+    for (std::size_t k = 0; k < e.node_count(); ++k) {
+      if (e.nodes[k] >= model.nodes.size())
+        throw SerializeError("element " + std::to_string(i) +
+                             " references missing node " +
+                             std::to_string(e.nodes[k]));
+    }
+  }
+  for (std::size_t i = 0; i < model.constraints.size(); ++i) {
+    const auto& c = model.constraints[i];
+    if (c.node >= model.nodes.size())
+      throw SerializeError("constraint references missing node " +
+                           std::to_string(c.node));
+    for (std::size_t j = i + 1; j < model.constraints.size(); ++j) {
+      if (model.constraints[j].node == c.node &&
+          model.constraints[j].dof == c.dof)
+        throw SerializeError("duplicate constraint on node " +
+                             std::to_string(c.node) + " dof " +
+                             std::to_string(c.dof));
+    }
+  }
+  for (const auto& [set_name, set] : model.load_sets) {
+    for (const auto& load : set.loads) {
+      if (load.node >= model.nodes.size())
+        throw SerializeError("load set '" + set_name +
+                             "' references missing node " +
+                             std::to_string(load.node));
+    }
+  }
   return model;
+}
+
+std::string serialize_results(const fem::AnalysisResult& results) {
+  std::ostringstream os;
+  os.precision(17);
+  const auto stress_record = [&os](const char* tag,
+                                   const fem::ElementStress& s) {
+    os << tag << " " << s.element << " " << s.sigma_xx << " " << s.sigma_yy
+       << " " << s.tau_xy << " " << s.von_mises << "\n";
+  };
+  const auto& stats = results.solution.stats;
+  os << "results\n";
+  os << "method " << stats.method << "\n";
+  os << "converged " << (stats.converged ? 1 : 0) << "\n";
+  os << "iterations " << stats.iterations << "\n";
+  os << "residual " << stats.residual << "\n";
+  os << "matrix-bytes " << stats.matrix_storage_bytes << "\n";
+  const auto& u = results.solution.displacements;
+  os << "displacements " << u.dofs_per_node;
+  for (const double v : u.values) os << " " << v;
+  os << "\n";
+  for (const auto& s : results.stresses) stress_record("stress", s);
+  stress_record("peak", results.peak);
+  return os.str();
+}
+
+fem::AnalysisResult parse_results(const std::string& text) {
+  fem::AnalysisResult results;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_peak = false;
+
+  const auto parse_stress = [](const std::vector<std::string>& tokens,
+                               std::size_t line_number) {
+    if (tokens.size() != 6)
+      throw SerializeError("line " + std::to_string(line_number) +
+                           ": stress takes element sxx syy txy vm");
+    fem::ElementStress s;
+    s.element = parse_index(tokens[1], line_number);
+    s.sigma_xx = parse_double(tokens[2], line_number);
+    s.sigma_yy = parse_double(tokens[3], line_number);
+    s.tau_xy = parse_double(tokens[4], line_number);
+    s.von_mises = parse_double(tokens[5], line_number);
+    return s;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = support::split_ws(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "results") {
+      saw_header = true;
+    } else if (kind == "method") {
+      // Method names may contain spaces — take the rest of the line.
+      const auto pos = line.find("method ");
+      results.solution.stats.method =
+          std::string(support::trim(line.substr(pos + 7)));
+    } else if (kind == "converged") {
+      if (tokens.size() != 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": converged takes 0 or 1");
+      results.solution.stats.converged = parse_index(tokens[1], line_no) != 0;
+    } else if (kind == "iterations") {
+      if (tokens.size() != 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": iterations takes a count");
+      results.solution.stats.iterations = parse_index(tokens[1], line_no);
+    } else if (kind == "residual") {
+      if (tokens.size() != 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": residual takes a value");
+      results.solution.stats.residual = parse_double(tokens[1], line_no);
+    } else if (kind == "matrix-bytes") {
+      if (tokens.size() != 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": matrix-bytes takes a count");
+      results.solution.stats.matrix_storage_bytes =
+          parse_index(tokens[1], line_no);
+    } else if (kind == "displacements") {
+      if (tokens.size() < 2)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": displacements needs dofs_per_node");
+      auto& u = results.solution.displacements;
+      u.dofs_per_node = parse_index(tokens[1], line_no);
+      if (u.dofs_per_node == 0)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": dofs_per_node must be positive");
+      u.values.clear();
+      u.values.reserve(tokens.size() - 2);
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        u.values.push_back(parse_double(tokens[i], line_no));
+      if (u.values.size() % u.dofs_per_node != 0)
+        throw SerializeError("line " + std::to_string(line_no) +
+                             ": displacement count is not a multiple of "
+                             "dofs_per_node");
+    } else if (kind == "stress") {
+      results.stresses.push_back(parse_stress(tokens, line_no));
+    } else if (kind == "peak") {
+      results.peak = parse_stress(tokens, line_no);
+      saw_peak = true;
+    } else {
+      throw SerializeError("line " + std::to_string(line_no) +
+                           ": unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_header)
+    throw SerializeError("results text has no 'results' record");
+  if (!saw_peak)
+    throw SerializeError("results text has no 'peak' record");
+  return results;
 }
 
 }  // namespace fem2::appvm

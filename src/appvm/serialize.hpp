@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "fem/analysis.hpp"
 #include "fem/model.hpp"
 #include "support/check.hpp"
 
@@ -24,7 +25,26 @@ class SerializeError : public support::Error {
 ///   load <set> <node> <dof> <value>
 std::string serialize_model(const fem::StructureModel& model);
 
-/// Inverse of serialize_model.  Throws SerializeError on malformed text.
+/// Inverse of serialize_model.  Throws SerializeError on malformed text,
+/// including structurally invalid models: out-of-range node/material
+/// indices, duplicate constraints, degenerate elements.
 fem::StructureModel parse_model(const std::string& text);
+
+/// Deterministic, line-oriented analysis-result text (the database's
+/// stored form of "displacements of nodes, stresses on elements"):
+///   results
+///   method <free text>
+///   converged <0|1>
+///   iterations <n>
+///   residual <v>
+///   matrix-bytes <n>
+///   displacements <dofs_per_node> <v0> <v1> ...
+///   stress <element> <sxx> <syy> <txy> <vm>     (one per element)
+///   peak <element> <sxx> <syy> <txy> <vm>
+/// Round-trips bit-identically (17 significant digits).
+std::string serialize_results(const fem::AnalysisResult& results);
+
+/// Inverse of serialize_results.  Throws SerializeError on malformed text.
+fem::AnalysisResult parse_results(const std::string& text);
 
 }  // namespace fem2::appvm

@@ -1,0 +1,92 @@
+// Little-endian byte encoding for fem2-db on-disk structures (WAL records
+// and snapshots).  Explicit byte order keeps log files portable across
+// hosts; a Cursor never reads past the buffer, so torn/corrupt tails decode
+// to a clean "truncated" result instead of UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace fem2::db {
+
+inline void append_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// u32 length prefix + raw bytes.
+inline void append_string(std::string& out, std::string_view v) {
+  append_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.append(v.data(), v.size());
+}
+
+/// Bounds-checked sequential reader.  Every read_* returns false once the
+/// buffer is exhausted; the cursor then stays failed.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool read_u8(std::uint8_t& v) {
+    if (failed_ || data_.size() - pos_ < 1) return fail();
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& v) {
+    if (failed_ || data_.size() - pos_ < 4) return fail();
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (failed_ || data_.size() - pos_ < 8) return fail();
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_string(std::string& v) {
+    std::uint32_t len = 0;
+    if (!read_u32(len)) return false;
+    if (data_.size() - pos_ < len) return fail();
+    v.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  bool fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace fem2::db

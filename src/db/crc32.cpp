@@ -1,0 +1,35 @@
+#include "db/crc32.hpp"
+
+#include <array>
+
+namespace fem2::db {
+
+namespace {
+
+// Table generated at startup from the reflected CRC-32C polynomial.
+constexpr std::uint32_t kPolynomial = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xffu];
+  return ~crc;
+}
+
+}  // namespace fem2::db

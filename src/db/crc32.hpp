@@ -1,0 +1,20 @@
+// CRC-32C (Castagnoli) — the checksum framing every fem2-db record and
+// snapshot carries so recovery can tell a torn tail from valid data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fem2::db {
+
+/// One-shot CRC-32C over a buffer.  `seed` chains incremental computation:
+/// crc32c(b, crc32c(a)) == crc32c(a + b).
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace fem2::db

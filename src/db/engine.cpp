@@ -1,0 +1,416 @@
+#include "db/engine.hpp"
+
+#include <filesystem>
+
+#include "db/snapshot.hpp"
+
+namespace fem2::db {
+
+namespace {
+
+std::string conflict_message(const std::string& name, std::uint64_t expected,
+                             std::uint64_t actual) {
+  std::string msg = "conflict on '" + name + "': ";
+  if (expected == 0) {
+    msg += "object already exists at revision " + std::to_string(actual);
+  } else if (actual == 0) {
+    msg += "expected revision " + std::to_string(expected) +
+           " but the object does not exist";
+  } else {
+    msg += "expected revision " + std::to_string(expected) +
+           " but current revision is " + std::to_string(actual);
+  }
+  return msg;
+}
+
+}  // namespace
+
+ConflictError::ConflictError(std::string name, std::uint64_t expected,
+                             std::uint64_t actual)
+    : Error(conflict_message(name, expected, actual)),
+      name_(std::move(name)),
+      expected_(expected),
+      actual_(actual) {}
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  FEM2_CHECK_MSG(options_.history_limit >= 1,
+                 "history_limit must keep at least the current version");
+  if (!options_.directory.empty()) recover();
+}
+
+Engine::~Engine() = default;
+
+void Engine::recover() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  if (ec)
+    throw Error("cannot create database directory '" + options_.directory +
+                "': " + ec.message());
+  snapshot_path_ = options_.directory + "/snapshot.f2db";
+  const std::string wal_path = options_.directory + "/wal.f2db";
+
+  // Phase 1: the last checkpoint.
+  if (const auto snapshot = load_snapshot(snapshot_path_)) {
+    next_txn_ = snapshot->next_txn;
+    for (const auto& chain : snapshot->chains) {
+      Chain loaded;
+      loaded.versions.reserve(chain.versions.size());
+      for (const auto& v : chain.versions)
+        loaded.versions.push_back(
+            Version{v.revision, v.deleted, v.txn, v.kind, v.value});
+      objects_.emplace(chain.name, std::move(loaded));
+    }
+    stats_.recovered_snapshot = true;
+  }
+
+  // Phase 2: replay the log on top — committed transactions only.
+  const ReplayResult replayed = Wal::replay(wal_path);
+  std::map<std::uint64_t, std::vector<WalRecord>> pending;
+  for (const auto& record : replayed.records) {
+    // Never reuse a txn id that reached the log, committed or not: a
+    // sheared transaction's orphaned writes must not be adopted by a
+    // later transaction that happens to get the same id.
+    next_txn_ = std::max(next_txn_, record.txn + 1);
+    switch (record.type) {
+      case RecordType::TxnBegin:
+        pending[record.txn].clear();
+        break;
+      case RecordType::Put:
+      case RecordType::Erase:
+        pending[record.txn].push_back(record);
+        break;
+      case RecordType::TxnAbort:
+        pending.erase(record.txn);
+        break;
+      case RecordType::TxnCommit: {
+        const auto it = pending.find(record.txn);
+        if (it == pending.end()) break;  // compacted away or duplicate
+        for (const auto& write : it->second) {
+          apply_version_locked(
+              write.name,
+              Version{write.revision, write.type == RecordType::Erase,
+                      write.txn, write.kind, write.value});
+        }
+        pending.erase(it);
+        stats_.recovered_txns += 1;
+        break;
+      }
+    }
+  }
+  stats_.recovery_discarded_txns = pending.size();
+  stats_.recovery_discarded_bytes =
+      replayed.total_bytes - replayed.valid_bytes;
+
+  // Shear the torn tail so new commits append after valid data.
+  wal_ = std::make_unique<Wal>(wal_path, replayed.valid_bytes,
+                               replayed.records.size());
+}
+
+// --- version-chain primitives (callers hold mutex_) -----------------------
+
+const Engine::Version* Engine::current_version_locked(
+    const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end() || it->second.versions.empty()) return nullptr;
+  return &it->second.versions.back();
+}
+
+void Engine::check_expected_locked(const std::string& name,
+                                   std::uint64_t expected) const {
+  if (expected == kAnyRevision) return;
+  const Version* current = current_version_locked(name);
+  const std::uint64_t actual =
+      (current && !current->deleted) ? current->revision : 0;
+  if (actual != expected) throw ConflictError(name, expected, actual);
+}
+
+void Engine::apply_version_locked(const std::string& name, Version version) {
+  auto& chain = objects_[name];
+  chain.versions.push_back(std::move(version));
+  if (chain.versions.size() > options_.history_limit)
+    chain.versions.erase(chain.versions.begin(),
+                         chain.versions.end() -
+                             static_cast<std::ptrdiff_t>(
+                                 options_.history_limit));
+}
+
+// --- transactions ---------------------------------------------------------
+
+std::uint64_t Engine::begin() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t txn = next_txn_++;
+  open_txns_[txn];
+  return txn;
+}
+
+void Engine::put(std::uint64_t txn, std::string name, std::string kind,
+                 std::string value, std::uint64_t expected) {
+  std::lock_guard lock(mutex_);
+  const auto it = open_txns_.find(txn);
+  if (it == open_txns_.end())
+    throw Error("no open transaction " + std::to_string(txn));
+  it->second.writes.push_back(PendingWrite{
+      std::move(name), std::move(kind), std::move(value), expected});
+}
+
+void Engine::erase(std::uint64_t txn, std::string name,
+                   std::uint64_t expected) {
+  std::lock_guard lock(mutex_);
+  const auto it = open_txns_.find(txn);
+  if (it == open_txns_.end())
+    throw Error("no open transaction " + std::to_string(txn));
+  it->second.writes.push_back(
+      PendingWrite{std::move(name), "", std::nullopt, expected});
+}
+
+std::optional<ObjectView> Engine::get(std::uint64_t txn,
+                                      const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = open_txns_.find(txn);
+  if (it == open_txns_.end())
+    throw Error("no open transaction " + std::to_string(txn));
+  // Read-your-writes: the latest buffered write to this name wins.
+  const auto& writes = it->second.writes;
+  for (auto w = writes.rbegin(); w != writes.rend(); ++w) {
+    if (w->name != name) continue;
+    if (!w->value) return std::nullopt;  // buffered erase
+    const Version* current = current_version_locked(name);
+    const std::uint64_t base =
+        current ? current->revision : 0;  // revision once committed
+    return ObjectView{name, w->kind, *w->value, base + 1};
+  }
+  const Version* current = current_version_locked(name);
+  if (!current || current->deleted) return std::nullopt;
+  return ObjectView{name, current->kind, current->value, current->revision};
+}
+
+std::size_t Engine::commit_writes_locked(std::uint64_t txn,
+                                         std::vector<PendingWrite> writes) {
+  // Validate every optimistic expectation against the committed state
+  // before anything touches the log: a conflicted transaction must leave
+  // no trace.
+  for (const auto& write : writes) {
+    try {
+      check_expected_locked(write.name, write.expected);
+    } catch (const ConflictError&) {
+      stats_.conflicts += 1;
+      throw;
+    }
+  }
+
+  // Assign revisions in write order (a transaction may touch one name
+  // twice; each write gets the next revision in the chain).
+  std::map<std::string, std::uint64_t> next_revision;
+  std::vector<Version> versions;
+  versions.reserve(writes.size());
+  for (const auto& write : writes) {
+    auto [it, inserted] = next_revision.try_emplace(write.name, 0);
+    if (inserted) {
+      const Version* current = current_version_locked(write.name);
+      it->second = current ? current->revision : 0;
+    }
+    it->second += 1;
+    versions.push_back(Version{it->second, !write.value.has_value(), txn,
+                               write.kind,
+                               write.value ? *write.value : std::string{}});
+  }
+
+  // Log, then make the commit point durable with one fsync.
+  if (wal_) {
+    wal_->append(WalRecord{RecordType::TxnBegin, txn, "", "", "", 0});
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      const auto& write = writes[i];
+      const auto& version = versions[i];
+      wal_->append(WalRecord{
+          version.deleted ? RecordType::Erase : RecordType::Put, txn,
+          write.name, version.kind, version.value, version.revision});
+    }
+    wal_->append(WalRecord{RecordType::TxnCommit, txn, "", "", "", 0});
+    if (options_.sync_on_commit) wal_->sync();
+  }
+
+  for (std::size_t i = 0; i < writes.size(); ++i)
+    apply_version_locked(writes[i].name, std::move(versions[i]));
+  stats_.commits += 1;
+
+  if (wal_ && options_.compact_after_bytes > 0 &&
+      wal_->bytes() > options_.compact_after_bytes)
+    checkpoint_locked();
+  return writes.size();
+}
+
+std::size_t Engine::commit(std::uint64_t txn) {
+  std::lock_guard lock(mutex_);
+  auto node = open_txns_.extract(txn);
+  if (node.empty()) throw Error("no open transaction " + std::to_string(txn));
+  return commit_writes_locked(txn, std::move(node.mapped().writes));
+}
+
+void Engine::abort(std::uint64_t txn) {
+  std::lock_guard lock(mutex_);
+  if (open_txns_.erase(txn) == 0)
+    throw Error("no open transaction " + std::to_string(txn));
+  stats_.aborts += 1;
+}
+
+// --- autocommit -----------------------------------------------------------
+
+std::uint64_t Engine::put(std::string name, std::string kind,
+                          std::string value, std::uint64_t expected) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t txn = next_txn_++;
+  std::vector<PendingWrite> writes;
+  const std::string key = name;  // keep a handle; the write owns the string
+  writes.push_back(PendingWrite{std::move(name), std::move(kind),
+                                std::move(value), expected});
+  commit_writes_locked(txn, std::move(writes));
+  return current_version_locked(key)->revision;
+}
+
+bool Engine::erase(const std::string& name, std::uint64_t expected) {
+  std::lock_guard lock(mutex_);
+  const Version* current = current_version_locked(name);
+  if (!current || current->deleted) {
+    // Erasing a missing object is a no-op unless the caller demanded a
+    // specific revision.
+    if (expected != kAnyRevision && expected != 0)
+      throw ConflictError(name, expected, 0);
+    return false;
+  }
+  const std::uint64_t txn = next_txn_++;
+  std::vector<PendingWrite> writes;
+  writes.push_back(PendingWrite{name, "", std::nullopt, expected});
+  commit_writes_locked(txn, std::move(writes));
+  return true;
+}
+
+// --- reads ----------------------------------------------------------------
+
+std::optional<ObjectView> Engine::get(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const Version* current = current_version_locked(name);
+  if (!current || current->deleted) return std::nullopt;
+  return ObjectView{name, current->kind, current->value, current->revision};
+}
+
+std::optional<ObjectView> Engine::get_at(const std::string& name,
+                                         std::uint64_t revision) const {
+  std::lock_guard lock(mutex_);
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  for (const auto& v : it->second.versions) {
+    if (v.revision == revision)
+      return v.deleted ? std::nullopt
+                       : std::optional<ObjectView>(
+                             ObjectView{name, v.kind, v.value, v.revision});
+  }
+  return std::nullopt;
+}
+
+std::vector<VersionInfo> Engine::history(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<VersionInfo> out;
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return out;
+  out.reserve(it->second.versions.size());
+  for (const auto& v : it->second.versions)
+    out.push_back(
+        VersionInfo{v.revision, v.kind, v.value.size(), v.txn, v.deleted});
+  return out;
+}
+
+std::vector<EntryInfo> Engine::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<EntryInfo> out;
+  for (const auto& [name, chain] : objects_) {
+    if (chain.versions.empty()) continue;
+    const Version& current = chain.versions.back();
+    if (current.deleted) continue;
+    out.push_back(EntryInfo{name, current.kind, current.value.size(),
+                            current.revision});
+  }
+  return out;
+}
+
+bool Engine::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const Version* current = current_version_locked(name);
+  return current && !current->deleted;
+}
+
+std::uint64_t Engine::revision_of(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const Version* current = current_version_locked(name);
+  return (current && !current->deleted) ? current->revision : 0;
+}
+
+std::size_t Engine::size() const {
+  std::lock_guard lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& [name, chain] : objects_)
+    live += !chain.versions.empty() && !chain.versions.back().deleted;
+  return live;
+}
+
+// --- maintenance ----------------------------------------------------------
+
+void Engine::checkpoint_locked() {
+  if (!wal_) return;  // nothing to compact in memory mode
+  SnapshotData data;
+  data.next_txn = next_txn_;
+  data.chains.reserve(objects_.size());
+  for (const auto& [name, chain] : objects_) {
+    SnapshotChain out;
+    out.name = name;
+    out.versions.reserve(chain.versions.size());
+    for (const auto& v : chain.versions)
+      out.versions.push_back(
+          SnapshotVersion{v.revision, v.deleted, v.txn, v.kind, v.value});
+    data.chains.push_back(std::move(out));
+  }
+  write_snapshot(snapshot_path_, data);
+  wal_->reset();  // the log up to here is now redundant
+  stats_.checkpoints += 1;
+}
+
+void Engine::checkpoint() {
+  std::lock_guard lock(mutex_);
+  checkpoint_locked();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard lock(mutex_);
+  EngineStats out = stats_;
+  if (wal_) {
+    out.wal_records = wal_->records();
+    out.wal_bytes = wal_->bytes();
+  }
+  return out;
+}
+
+EngineState Engine::state() const {
+  std::lock_guard lock(mutex_);
+  EngineState out;
+  out.mode = wal_ ? "persistent" : "memory";
+  out.chains.reserve(objects_.size());
+  for (const auto& [name, chain] : objects_) {
+    EngineState::Chain c;
+    c.name = name;
+    c.versions.reserve(chain.versions.size());
+    for (const auto& v : chain.versions)
+      c.versions.push_back(
+          VersionInfo{v.revision, v.kind, v.value.size(), v.txn, v.deleted});
+    out.chains.push_back(std::move(c));
+  }
+  for (const auto& [id, txn] : open_txns_)
+    out.transactions.push_back(EngineState::Txn{id, txn.writes.size()});
+  out.stats = stats_;
+  if (wal_) {
+    out.stats.wal_records = wal_->records();
+    out.stats.wal_bytes = wal_->bytes();
+  }
+  return out;
+}
+
+}  // namespace fem2::db

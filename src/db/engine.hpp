@@ -1,0 +1,224 @@
+// fem2-db: a persistent, crash-recoverable, multi-session storage engine —
+// the "data base (long-term storage; shared data)" of the application
+// user's VM made real.
+//
+//   * Durability: commits append CRC-framed records to a write-ahead log
+//     and fsync once per commit (wal.hpp).  Recovery = snapshot load + log
+//     replay; a crash at any byte leaves exactly the committed prefix.
+//   * Compaction: checkpoint() writes an atomic snapshot of the object
+//     table and truncates the log; it also runs automatically once the log
+//     outgrows EngineOptions::compact_after_bytes.
+//   * MVCC: objects are version chains.  Reads can target a historical
+//     revision; history() exposes the chain (bounded by history_limit).
+//   * Optimistic concurrency: every write may carry an expected revision
+//     (compare-and-swap).  Two sessions racing on one name get a clean
+//     ConflictError instead of silent clobbering.
+//   * Degenerate mode: an empty directory means a purely in-memory engine
+//     with identical semantics minus durability.
+//
+// Thread safety: all public methods are safe to call from concurrent
+// sessions; one mutex serializes the table and the log tail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/wal.hpp"
+
+namespace fem2::db {
+
+/// Optimistic-concurrency check failed: the object's current revision is
+/// not the one the writer expected.
+class ConflictError : public Error {
+ public:
+  ConflictError(std::string name, std::uint64_t expected,
+                std::uint64_t actual);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t expected() const { return expected_; }
+  std::uint64_t actual() const { return actual_; }
+
+ private:
+  std::string name_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t actual_ = 0;
+};
+
+/// Expected-revision wildcard: write unconditionally.
+inline constexpr std::uint64_t kAnyRevision = ~std::uint64_t{0};
+/// Expected revision 0 means "the object must not currently exist".
+
+struct EngineOptions {
+  /// Data directory.  Empty = in-memory degenerate mode (no WAL, no
+  /// snapshot, nothing survives the process).
+  std::string directory;
+  /// Versions retained per object (MVCC history window), >= 1.
+  std::size_t history_limit = 8;
+  /// Auto-checkpoint once the WAL exceeds this many bytes; 0 disables.
+  std::size_t compact_after_bytes = 4u << 20;
+  /// fsync at every commit point (the durability guarantee).  Off only for
+  /// throughput experiments that accept losing the OS buffer tail.
+  bool sync_on_commit = true;
+};
+
+/// A live object as seen by a read.
+struct ObjectView {
+  std::string name;
+  std::string kind;
+  std::string value;
+  std::uint64_t revision = 0;
+};
+
+/// One version in an object's MVCC chain (no payload — see get_at).
+struct VersionInfo {
+  std::uint64_t revision = 0;
+  std::string kind;
+  std::size_t bytes = 0;
+  std::uint64_t txn = 0;
+  bool deleted = false;
+};
+
+/// Directory row for list().
+struct EntryInfo {
+  std::string name;
+  std::string kind;
+  std::size_t bytes = 0;
+  std::uint64_t revision = 0;
+};
+
+struct EngineStats {
+  std::uint64_t commits = 0;      ///< committed transactions (incl. autocommit)
+  std::uint64_t aborts = 0;       ///< explicit aborts
+  std::uint64_t conflicts = 0;    ///< commits rejected by revision checks
+  std::uint64_t checkpoints = 0;  ///< snapshots written (manual + automatic)
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t recovered_txns = 0;  ///< committed txns replayed at open
+  std::uint64_t recovery_discarded_txns = 0;   ///< uncommitted at crash
+  std::uint64_t recovery_discarded_bytes = 0;  ///< torn-tail bytes sheared
+  bool recovered_snapshot = false;             ///< a snapshot was loaded
+};
+
+/// Full engine state for spec reflection (spec/reflect.hpp) and debugging.
+struct EngineState {
+  std::string mode;  ///< "memory" or "persistent"
+  struct Chain {
+    std::string name;
+    std::vector<VersionInfo> versions;
+  };
+  std::vector<Chain> chains;  ///< sorted by name
+  struct Txn {
+    std::uint64_t id = 0;
+    std::size_t writes = 0;
+  };
+  std::vector<Txn> transactions;  ///< open (uncommitted) transactions
+  EngineStats stats;
+};
+
+class Engine {
+ public:
+  /// Opens (and, for a persistent directory, recovers) the database.
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- transactions ------------------------------------------------------
+  /// Start a transaction; writes are buffered until commit.
+  std::uint64_t begin();
+
+  /// Buffer a write/delete in an open transaction.  `expected` is checked
+  /// against the table state at commit time (optimistic concurrency).
+  void put(std::uint64_t txn, std::string name, std::string kind,
+           std::string value, std::uint64_t expected = kAnyRevision);
+  void erase(std::uint64_t txn, std::string name,
+             std::uint64_t expected = kAnyRevision);
+
+  /// Read inside a transaction: sees the transaction's own buffered
+  /// writes, else the committed state.
+  std::optional<ObjectView> get(std::uint64_t txn,
+                                const std::string& name) const;
+
+  /// Validate, log (one fsync), apply.  Returns the number of writes
+  /// applied.  Throws ConflictError — the transaction is then gone — when
+  /// any expected revision no longer matches.
+  std::size_t commit(std::uint64_t txn);
+
+  /// Drop a transaction; its buffered writes never reach the log.
+  void abort(std::uint64_t txn);
+
+  // --- autocommit operations ---------------------------------------------
+  /// Single-write transaction; returns the new revision.
+  std::uint64_t put(std::string name, std::string kind, std::string value,
+                    std::uint64_t expected = kAnyRevision);
+  /// Returns false when the object does not exist (nothing to erase).
+  bool erase(const std::string& name, std::uint64_t expected = kAnyRevision);
+
+  // --- reads --------------------------------------------------------------
+  std::optional<ObjectView> get(const std::string& name) const;
+  /// MVCC read of a historical revision still inside the history window.
+  std::optional<ObjectView> get_at(const std::string& name,
+                                   std::uint64_t revision) const;
+  std::vector<VersionInfo> history(const std::string& name) const;
+  std::vector<EntryInfo> list() const;
+  bool contains(const std::string& name) const;
+  /// Current revision of a live object; 0 when absent or deleted.
+  std::uint64_t revision_of(const std::string& name) const;
+  /// Live (non-deleted) object count.
+  std::size_t size() const;
+
+  // --- maintenance --------------------------------------------------------
+  /// Snapshot the table and truncate the WAL (log compaction).
+  void checkpoint();
+
+  EngineStats stats() const;
+  EngineState state() const;
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Version {
+    std::uint64_t revision = 0;
+    bool deleted = false;
+    std::uint64_t txn = 0;
+    std::string kind;
+    std::string value;
+  };
+  struct Chain {
+    std::vector<Version> versions;  ///< ascending revision, trimmed window
+  };
+  struct PendingWrite {
+    std::string name;
+    std::string kind;
+    std::optional<std::string> value;  ///< nullopt = erase
+    std::uint64_t expected = kAnyRevision;
+  };
+  struct Txn {
+    std::vector<PendingWrite> writes;
+  };
+
+  void recover();
+  std::size_t commit_writes_locked(std::uint64_t txn,
+                                   std::vector<PendingWrite> writes);
+  void apply_version_locked(const std::string& name, Version version);
+  const Version* current_version_locked(const std::string& name) const;
+  void check_expected_locked(const std::string& name,
+                             std::uint64_t expected) const;
+  void checkpoint_locked();
+
+  EngineOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Chain> objects_;
+  std::map<std::uint64_t, Txn> open_txns_;
+  std::uint64_t next_txn_ = 1;
+  std::unique_ptr<Wal> wal_;  ///< null in memory mode
+  std::string snapshot_path_;
+  EngineStats stats_;
+};
+
+}  // namespace fem2::db

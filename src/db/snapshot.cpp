@@ -1,0 +1,147 @@
+#include "db/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "db/bytes.hpp"
+#include "db/crc32.hpp"
+#include "db/wal.hpp"
+
+namespace fem2::db {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', '2', 'D', 'B', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string encode(const SnapshotData& data) {
+  std::string payload;
+  append_u64(payload, data.next_txn);
+  append_u64(payload, data.chains.size());
+  for (const auto& chain : data.chains) {
+    append_string(payload, chain.name);
+    append_u64(payload, chain.versions.size());
+    for (const auto& v : chain.versions) {
+      append_u64(payload, v.revision);
+      append_u8(payload, v.deleted ? 1 : 0);
+      append_u64(payload, v.txn);
+      append_string(payload, v.kind);
+      append_string(payload, v.value);
+    }
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  append_u32(out, kFormatVersion);
+  append_u64(out, payload.size());
+  out += payload;
+  append_u32(out, crc32c(payload));
+  return out;
+}
+
+SnapshotData decode(std::string_view bytes, const std::string& path) {
+  const auto corrupt = [&path](const char* why) -> Error {
+    return Error("snapshot '" + path + "' is corrupt: " + why);
+  };
+  if (bytes.size() < sizeof kMagic ||
+      std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw corrupt("bad magic");
+  Cursor cursor(bytes.substr(sizeof kMagic));
+  std::uint32_t version = 0;
+  std::uint64_t payload_bytes = 0;
+  if (!cursor.read_u32(version) || !cursor.read_u64(payload_bytes))
+    throw corrupt("truncated header");
+  if (version != kFormatVersion) throw corrupt("unknown format version");
+  if (cursor.remaining() < payload_bytes + 4) throw corrupt("truncated body");
+  const std::string_view payload =
+      bytes.substr(sizeof kMagic + 12, payload_bytes);
+
+  Cursor trailer(bytes.substr(sizeof kMagic + 12 + payload_bytes));
+  std::uint32_t crc = 0;
+  if (!trailer.read_u32(crc) || crc32c(payload) != crc)
+    throw corrupt("checksum mismatch");
+
+  SnapshotData data;
+  Cursor body(payload);
+  std::uint64_t chain_count = 0;
+  if (!body.read_u64(data.next_txn) || !body.read_u64(chain_count))
+    throw corrupt("truncated payload");
+  data.chains.resize(chain_count);
+  for (auto& chain : data.chains) {
+    std::uint64_t version_count = 0;
+    if (!body.read_string(chain.name) || !body.read_u64(version_count))
+      throw corrupt("truncated chain");
+    chain.versions.resize(version_count);
+    for (auto& v : chain.versions) {
+      std::uint8_t deleted = 0;
+      if (!body.read_u64(v.revision) || !body.read_u8(deleted) ||
+          !body.read_u64(v.txn) || !body.read_string(v.kind) ||
+          !body.read_string(v.value))
+        throw corrupt("truncated version");
+      v.deleted = deleted != 0;
+    }
+  }
+  if (body.remaining() != 0) throw corrupt("trailing bytes in payload");
+  return data;
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, const SnapshotData& data) {
+  const std::string bytes = encode(data);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot create snapshot", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("cannot write snapshot", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("cannot fsync snapshot", tmp);
+  }
+  ::close(fd);
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw_errno("cannot publish snapshot", path);
+
+  // Make the rename itself durable.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::optional<SnapshotData> load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decode(buffer.str(), path);
+}
+
+}  // namespace fem2::db

@@ -1,0 +1,181 @@
+#include "db/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "db/bytes.hpp"
+#include "db/crc32.hpp"
+
+namespace fem2::db {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string encode_payload(const WalRecord& record) {
+  std::string payload;
+  append_u8(payload, static_cast<std::uint8_t>(record.type));
+  append_u64(payload, record.txn);
+  switch (record.type) {
+    case RecordType::Put:
+      append_string(payload, record.name);
+      append_string(payload, record.kind);
+      append_string(payload, record.value);
+      append_u64(payload, record.revision);
+      break;
+    case RecordType::Erase:
+      append_string(payload, record.name);
+      append_u64(payload, record.revision);
+      break;
+    case RecordType::TxnBegin:
+    case RecordType::TxnCommit:
+    case RecordType::TxnAbort:
+      break;
+  }
+  return payload;
+}
+
+bool decode_payload(std::string_view payload, WalRecord& record) {
+  Cursor cursor(payload);
+  std::uint8_t type = 0;
+  if (!cursor.read_u8(type) || !cursor.read_u64(record.txn)) return false;
+  if (type < static_cast<std::uint8_t>(RecordType::TxnBegin) ||
+      type > static_cast<std::uint8_t>(RecordType::TxnAbort))
+    return false;
+  record.type = static_cast<RecordType>(type);
+  record.name.clear();
+  record.kind.clear();
+  record.value.clear();
+  record.revision = 0;
+  switch (record.type) {
+    case RecordType::Put:
+      if (!cursor.read_string(record.name) ||
+          !cursor.read_string(record.kind) ||
+          !cursor.read_string(record.value) ||
+          !cursor.read_u64(record.revision))
+        return false;
+      break;
+    case RecordType::Erase:
+      if (!cursor.read_string(record.name) ||
+          !cursor.read_u64(record.revision))
+        return false;
+      break;
+    case RecordType::TxnBegin:
+    case RecordType::TxnCommit:
+    case RecordType::TxnAbort:
+      break;
+  }
+  return cursor.remaining() == 0;
+}
+
+}  // namespace
+
+std::string encode_record(const WalRecord& record) {
+  const std::string payload = encode_payload(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  append_u32(frame, crc32c(payload));
+  frame += payload;
+  return frame;
+}
+
+DecodeStatus decode_record(std::string_view buffer, std::size_t& offset,
+                           WalRecord& record) {
+  Cursor cursor(buffer.substr(offset));
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+  if (!cursor.read_u32(length) || !cursor.read_u32(crc))
+    return DecodeStatus::Truncated;
+  if (cursor.remaining() < length) return DecodeStatus::Truncated;
+  const std::string_view payload =
+      buffer.substr(offset + kFrameHeaderBytes, length);
+  if (crc32c(payload) != crc) return DecodeStatus::Corrupt;
+  if (!decode_payload(payload, record)) return DecodeStatus::Corrupt;
+  offset += kFrameHeaderBytes + length;
+  return DecodeStatus::Ok;
+}
+
+Wal::Wal(std::string path, std::optional<std::uint64_t> truncate_to,
+         std::uint64_t recovered_records)
+    : path_(std::move(path)), records_(recovered_records) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) throw_errno("cannot open write-ahead log", path_);
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) throw_errno("cannot seek write-ahead log", path_);
+  bytes_ = static_cast<std::uint64_t>(size);
+  if (truncate_to && *truncate_to < bytes_) {
+    if (::ftruncate(fd_, static_cast<off_t>(*truncate_to)) != 0)
+      throw_errno("cannot truncate write-ahead log", path_);
+    if (::lseek(fd_, static_cast<off_t>(*truncate_to), SEEK_SET) < 0)
+      throw_errno("cannot seek write-ahead log", path_);
+    bytes_ = *truncate_to;
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::append(const WalRecord& record) {
+  const std::string frame = encode_record(record);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot append to write-ahead log", path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  bytes_ += frame.size();
+  records_ += 1;
+}
+
+void Wal::sync() {
+  if (::fsync(fd_) != 0) throw_errno("cannot fsync write-ahead log", path_);
+}
+
+void Wal::reset() {
+  if (::ftruncate(fd_, 0) != 0)
+    throw_errno("cannot truncate write-ahead log", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0)
+    throw_errno("cannot seek write-ahead log", path_);
+  sync();
+  bytes_ = 0;
+  records_ = 0;
+}
+
+ReplayResult Wal::replay(const std::string& path) {
+  ReplayResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // no log yet — an empty database
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+  result.total_bytes = data.size();
+
+  std::size_t offset = 0;
+  WalRecord record;
+  while (offset < data.size()) {
+    const DecodeStatus status = decode_record(data, offset, record);
+    if (status != DecodeStatus::Ok) break;
+    result.records.push_back(record);
+    result.valid_bytes = offset;
+  }
+  result.torn_tail = result.valid_bytes < result.total_bytes;
+  return result;
+}
+
+}  // namespace fem2::db

@@ -1,0 +1,111 @@
+// The write-ahead log: the durability backbone of fem2-db.
+//
+// Commit protocol (fsync-point discipline): a committing transaction
+// appends TxnBegin, one Put/Erase per write, then TxnCommit, and only then
+// issues a single fsync.  The fsync return is the commit point — before it
+// the transaction may vanish in a crash, after it the transaction must
+// survive any crash.  Recovery replays only transactions whose TxnCommit
+// record is fully on disk; a torn tail (truncated or CRC-corrupt suffix)
+// is discarded, never fatal.
+//
+// Record framing, little-endian:
+//   [u32 payload_bytes][u32 crc32c(payload)][payload]
+//   payload = [u8 type][type-specific fields]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace fem2::db {
+
+/// Recoverable database-layer failure (I/O errors, corrupt snapshots).
+class Error : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+enum class RecordType : std::uint8_t {
+  TxnBegin = 1,
+  Put = 2,
+  Erase = 3,
+  TxnCommit = 4,
+  TxnAbort = 5,
+};
+
+/// One logical WAL record.  Put carries the full object state; Erase only
+/// the name.  Both carry the revision the write was assigned at commit.
+struct WalRecord {
+  RecordType type = RecordType::TxnBegin;
+  std::uint64_t txn = 0;
+  std::string name;
+  std::string kind;
+  std::string value;
+  std::uint64_t revision = 0;
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+/// Frame one record (header + CRC + payload).
+std::string encode_record(const WalRecord& record);
+
+enum class DecodeStatus {
+  Ok,         ///< one complete, CRC-valid record decoded
+  Truncated,  ///< buffer ends mid-record — a torn tail
+  Corrupt,    ///< framing present but CRC or type invalid
+};
+
+/// Decode the record starting at `offset`; on Ok advances `offset` past it.
+DecodeStatus decode_record(std::string_view buffer, std::size_t& offset,
+                           WalRecord& record);
+
+struct ReplayResult {
+  std::vector<WalRecord> records;  ///< complete, CRC-valid prefix, in order
+  std::uint64_t valid_bytes = 0;   ///< end offset of the last valid record
+  std::uint64_t total_bytes = 0;   ///< file size as found on disk
+  bool torn_tail = false;          ///< trailing bytes were discarded
+};
+
+/// Append-only log file with explicit sync points.
+class Wal {
+ public:
+  /// Opens `path` for appending, creating it if absent.  If `truncate_to`
+  /// is given, the file is first cut to that many bytes — recovery uses
+  /// this to shear a torn tail before new appends go after valid data.
+  /// `recovered_records` seeds the records() counter after a replay.
+  explicit Wal(std::string path,
+               std::optional<std::uint64_t> truncate_to = std::nullopt,
+               std::uint64_t recovered_records = 0);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one framed record (buffered in the OS; not yet durable).
+  void append(const WalRecord& record);
+
+  /// The fsync point: everything appended so far becomes durable.
+  void sync();
+
+  /// Truncate the log to empty (after a checkpoint made it redundant).
+  void reset();
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+  /// Tolerant scan of a log file: returns every complete record up to the
+  /// first truncated/corrupt frame.  A missing file is an empty log.
+  static ReplayResult replay(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace fem2::db

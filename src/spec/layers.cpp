@@ -41,6 +41,32 @@ hgraph::Grammar appvm_grammar() {
 }
 
 // ---------------------------------------------------------------------------
+// Layer 1b: the database engine (fem2-db) under the application user's VM
+
+std::string_view db_grammar_text() {
+  return R"(
+# fem2-db: the persistent shared database ("long-term storage; shared
+# data") as a formal object.  Objects are MVCC version chains; open
+# transactions buffer writes; the write-ahead log and the engine counters
+# carry the durability and concurrency state.
+
+version   ::= { revision: INT, kind: STRING, bytes: INT, txn: INT,
+                deleted: INT }
+chain     ::= { name: STRING, version[*]: version }
+txn       ::= { id: INT, writes: INT }
+walstate  ::= { records: INT, bytes: INT }
+dbstats   ::= { commits: INT, aborts: INT, conflicts: INT,
+                checkpoints: INT, recovered: INT }
+dbengine  ::= { mode: STRING, wal: walstate, stats: dbstats,
+                chain[*]: chain, txn[*]: txn }
+)";
+}
+
+hgraph::Grammar db_grammar() {
+  return hgraph::parse_grammar(db_grammar_text());
+}
+
+// ---------------------------------------------------------------------------
 // Layer 2: numerical analyst's virtual machine
 
 std::string_view navm_grammar_text() {

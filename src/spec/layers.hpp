@@ -19,6 +19,12 @@ namespace fem2::spec {
 std::string_view appvm_grammar_text();
 hgraph::Grammar appvm_grammar();
 
+/// Layer 1b — the database engine under the application VM (fem2-db):
+/// MVCC version chains, open transactions, the write-ahead log and its
+/// commit/conflict accounting.
+std::string_view db_grammar_text();
+hgraph::Grammar db_grammar();
+
 /// Layer 2 — numerical analyst's VM: tasks, windows on arrays,
 /// task-control state.
 std::string_view navm_grammar_text();

@@ -137,6 +137,63 @@ hgraph::NodeId reflect_database(HGraph& g, const appvm::Database& database) {
 }
 
 // ---------------------------------------------------------------------------
+// Layer 1b: the database engine (fem2-db)
+
+hgraph::NodeId reflect_db_engine(HGraph& g, const db::Engine& engine) {
+  const db::EngineState state = engine.state();
+  const NodeId root = g.add_node();
+  g.add_arc(root, "mode", str_node(g, state.mode));
+
+  const NodeId wal = g.add_node();
+  g.add_arc(wal, "records",
+            int_node(g, static_cast<std::int64_t>(state.stats.wal_records)));
+  g.add_arc(wal, "bytes",
+            int_node(g, static_cast<std::int64_t>(state.stats.wal_bytes)));
+  g.add_arc(root, "wal", wal);
+
+  const NodeId stats = g.add_node();
+  g.add_arc(stats, "commits",
+            int_node(g, static_cast<std::int64_t>(state.stats.commits)));
+  g.add_arc(stats, "aborts",
+            int_node(g, static_cast<std::int64_t>(state.stats.aborts)));
+  g.add_arc(stats, "conflicts",
+            int_node(g, static_cast<std::int64_t>(state.stats.conflicts)));
+  g.add_arc(stats, "checkpoints",
+            int_node(g, static_cast<std::int64_t>(state.stats.checkpoints)));
+  g.add_arc(stats, "recovered",
+            int_node(g,
+                     static_cast<std::int64_t>(state.stats.recovered_txns)));
+  g.add_arc(root, "stats", stats);
+
+  for (std::size_t i = 0; i < state.chains.size(); ++i) {
+    const auto& chain = state.chains[i];
+    const NodeId cn = g.add_node();
+    g.add_arc(cn, "name", str_node(g, chain.name));
+    for (std::size_t k = 0; k < chain.versions.size(); ++k) {
+      const auto& v = chain.versions[k];
+      const NodeId vn = g.add_node();
+      g.add_arc(vn, "revision",
+                int_node(g, static_cast<std::int64_t>(v.revision)));
+      g.add_arc(vn, "kind", str_node(g, v.kind));
+      g.add_arc(vn, "bytes", int_node(g, static_cast<std::int64_t>(v.bytes)));
+      g.add_arc(vn, "txn", int_node(g, static_cast<std::int64_t>(v.txn)));
+      g.add_arc(vn, "deleted", int_node(g, v.deleted ? 1 : 0));
+      g.add_arc(cn, indexed("version", k), vn);
+    }
+    g.add_arc(root, indexed("chain", i), cn);
+  }
+  for (std::size_t i = 0; i < state.transactions.size(); ++i) {
+    const auto& txn = state.transactions[i];
+    const NodeId tn = g.add_node();
+    g.add_arc(tn, "id", int_node(g, static_cast<std::int64_t>(txn.id)));
+    g.add_arc(tn, "writes",
+              int_node(g, static_cast<std::int64_t>(txn.writes)));
+    g.add_arc(root, indexed("txn", i), tn);
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
 // Layer 2
 
 hgraph::NodeId reflect_window(HGraph& g, const navm::Window& window) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "appvm/command.hpp"
+#include "db/engine.hpp"
 #include "fem/model.hpp"
 #include "hgraph/hgraph.hpp"
 #include "hw/machine.hpp"
@@ -23,6 +24,9 @@ hgraph::NodeId reflect_workspace(hgraph::HGraph& g,
                                  const appvm::Session& session);
 hgraph::NodeId reflect_database(hgraph::HGraph& g,
                                 const appvm::Database& database);
+
+// --- layer 1b: the database engine (fem2-db) -----------------------------
+hgraph::NodeId reflect_db_engine(hgraph::HGraph& g, const db::Engine& engine);
 
 // --- layer 2 ------------------------------------------------------------
 hgraph::NodeId reflect_window(hgraph::HGraph& g, const navm::Window& window);

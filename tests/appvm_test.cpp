@@ -1,5 +1,7 @@
 // Application user's VM tests: serialization, database, workspace, and the
 // interactive command language.
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "appvm/command.hpp"
@@ -241,9 +243,226 @@ TEST(Session, SaveAndOpenModelFiles) {
 TEST(Session, HelpListsCommands) {
   const auto help = Session::help_text();
   for (const char* command :
-       {"new model", "mesh", "solve", "stresses", "store", "retrieve"}) {
+       {"new model", "mesh", "solve", "stresses", "store", "retrieve",
+        "begin", "commit", "abort", "history", "if-rev"}) {
     EXPECT_NE(help.find(command), std::string::npos) << command;
   }
+}
+
+TEST(Serialize, ResultsRoundTripPreserved) {
+  const auto model = sample_model();
+  const auto results = fem::analyze(model, "tip-shear");
+  const auto text = serialize_results(results);
+  const auto parsed = parse_results(text);
+
+  EXPECT_EQ(parsed.solution.stats.method, results.solution.stats.method);
+  EXPECT_EQ(parsed.solution.stats.converged, results.solution.stats.converged);
+  EXPECT_EQ(parsed.solution.stats.iterations,
+            results.solution.stats.iterations);
+  ASSERT_EQ(parsed.stresses.size(), results.stresses.size());
+  for (std::size_t i = 0; i < results.stresses.size(); ++i)
+    EXPECT_DOUBLE_EQ(parsed.stresses[i].von_mises,
+                     results.stresses[i].von_mises);
+  EXPECT_EQ(parsed.peak.element, results.peak.element);
+  // Round-trip of the round-trip is bit-identical.
+  EXPECT_EQ(serialize_results(parsed), text);
+}
+
+TEST_P(SerializeRandomModels, ResultsRoundTripRandomTrusses) {
+  support::Rng rng(GetParam() + 1000);
+  fem::TrussOptions options;
+  options.bays = 2 + rng.next_below(6);
+  const auto model =
+      fem::make_truss_bridge(options, rng.uniform(1.0, 100.0));
+  const auto results = fem::analyze(model, "deck");
+  const auto text = serialize_results(results);
+  EXPECT_EQ(serialize_results(parse_results(text)), text);
+}
+
+TEST(Serialize, RejectsMalformedResults) {
+  const auto text = serialize_results(fem::analyze(sample_model(), "tip-shear"));
+  EXPECT_THROW(parse_results(""), SerializeError);  // no results record
+  EXPECT_THROW(parse_results("model m"), SerializeError);
+  EXPECT_THROW(parse_results("results\nconverged maybe"), SerializeError);
+  EXPECT_THROW(parse_results("results\ndisplacements 2 1.0 oops"),
+               SerializeError);
+  EXPECT_THROW(parse_results("results\nstress 0 1 2 3"), SerializeError);
+  EXPECT_THROW(parse_results("results\nwhatever 1"), SerializeError);
+  // A truncated line inside an otherwise good document is rejected.
+  const auto cut = text.rfind(' ');
+  EXPECT_THROW(parse_results(text.substr(0, cut + 1)), SerializeError);
+}
+
+TEST(Serialize, RejectsStructurallyInvalidModels) {
+  // Element references a node that does not exist.
+  EXPECT_THROW(parse_model("model m\nnode 0 0\nnode 1 0\n"
+                           "element bar2 0 7 mat=0"),
+               SerializeError);
+  // Element references a material that does not exist.
+  EXPECT_THROW(parse_model("model m\nmaterial s E=1\nnode 0 0\nnode 1 0\n"
+                           "element bar2 0 1 mat=5"),
+               SerializeError);
+  // Constraint on a node that does not exist.
+  EXPECT_THROW(parse_model("model m\nnode 0 0\nconstraint 3 0 0"),
+               SerializeError);
+  // Duplicate constraint on the same (node, dof).
+  EXPECT_THROW(parse_model("model m\nnode 0 0\n"
+                           "constraint 0 1 0\nconstraint 0 1 5"),
+               SerializeError);
+  // Load on a node that does not exist.
+  EXPECT_THROW(parse_model("model m\nnode 0 0\nload pull 9 0 10"),
+               SerializeError);
+}
+
+TEST(Database, OptimisticConcurrencyAndHistory) {
+  Database db;
+  const auto model = sample_model();
+  EXPECT_EQ(db.store_model("m", model, 0), 1u);  // must-not-exist store
+  EXPECT_THROW(db.store_model("m", model, 0), db::ConflictError);
+  EXPECT_EQ(db.store_model("m", model, 1), 2u);  // CAS against rev 1
+  EXPECT_THROW(db.store_model("m", model, 1), db::ConflictError);
+  EXPECT_EQ(db.revision("m"), 2u);
+
+  // MVCC: the old revision is still readable, and history lists both.
+  const auto old_copy = db.retrieve_model("m", 1);
+  EXPECT_EQ(old_copy.name, model.name);
+  const auto history = db.history("m");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].revision, 1u);
+  EXPECT_EQ(history[1].revision, 2u);
+  EXPECT_FALSE(history[1].deleted);
+
+  EXPECT_THROW(db.remove("m", 1), db::ConflictError);
+  EXPECT_TRUE(db.remove("m", 2));
+  EXPECT_EQ(db.revision("m"), 0u);
+}
+
+TEST(Database, TransactionsCommitAndAbort) {
+  Database db;
+  const auto model = sample_model();
+  const auto results = fem::analyze(model, "tip-shear");
+
+  const auto txn = db.begin();
+  db.store_model(txn, "m", model);
+  db.store_results(txn, "r", results);
+  // Buffered writes are invisible outside the transaction...
+  EXPECT_FALSE(db.contains("m"));
+  // ...but the transaction reads its own writes.
+  EXPECT_EQ(db.retrieve_model(txn, "m").name, model.name);
+  EXPECT_EQ(db.commit(txn), 2u);
+  EXPECT_TRUE(db.contains("m"));
+  EXPECT_TRUE(db.contains("r"));
+
+  const auto doomed = db.begin();
+  db.remove(doomed, "m");
+  db.abort(doomed);
+  EXPECT_TRUE(db.contains("m"));
+}
+
+TEST(Database, RetrieveResultsByValueSurvivesOverwrite) {
+  Database db;
+  const auto model = sample_model();
+  db.store_results("r", fem::analyze(model, "tip-shear"));
+  const auto results = db.retrieve_results("r");
+  const auto peak = results.peak.von_mises;
+  // The entry the value came from is overwritten and then removed; the
+  // returned copy must stay valid (the old interface returned a reference
+  // into the store, which dangled here).
+  db.store_results("r", fem::analyze(model, "tip-shear"));
+  db.remove("r");
+  EXPECT_EQ(results.peak.von_mises, peak);
+  EXPECT_FALSE(results.stresses.empty());
+}
+
+TEST(Database, PersistentReopenRecoversEntries) {
+  const std::string dir = ::testing::TempDir() + "fem2_appvm_persist";
+  std::filesystem::remove_all(dir);
+  const auto model = sample_model();
+  {
+    Database db(dir);
+    db.store_model("m", model);
+    db.store_results("r", fem::analyze(model, "tip-shear"));
+  }
+  {
+    Database db(dir);
+    EXPECT_EQ(db.retrieve_model("m").name, model.name);
+    EXPECT_EQ(db.retrieve_results("r").stresses.size(),
+              model.elements.size());
+    EXPECT_EQ(db.list().size(), 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, TransactionVerbs) {
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.execute("mesh truss bays=3 load=10").ok);
+
+  // Writes buffer inside a transaction; commit publishes them atomically.
+  EXPECT_FALSE(session.execute("commit").ok);  // no open transaction
+  ASSERT_TRUE(session.execute("begin").ok);
+  EXPECT_FALSE(session.execute("begin").ok);  // one at a time
+  ASSERT_TRUE(session.execute("store a").ok);
+  ASSERT_TRUE(session.execute("store b").ok);
+  EXPECT_FALSE(db.contains("a"));
+  ASSERT_TRUE(session.execute("commit").ok);
+  EXPECT_TRUE(db.contains("a"));
+  EXPECT_TRUE(db.contains("b"));
+
+  // Aborted transactions leave no trace.
+  ASSERT_TRUE(session.execute("begin").ok);
+  ASSERT_TRUE(session.execute("store c").ok);
+  ASSERT_TRUE(session.execute("abort").ok);
+  EXPECT_FALSE(db.contains("c"));
+  EXPECT_FALSE(session.execute("abort").ok);
+}
+
+TEST(Session, ConflictDetectionAndRetryWithIfRev) {
+  Database db;
+  Session alice(db, "alice");
+  Session bob(db, "bob");
+  ASSERT_TRUE(alice.execute("mesh truss bays=4 load=100").ok);
+  ASSERT_TRUE(alice.execute("store bridge").ok);  // rev 1
+  ASSERT_TRUE(bob.execute("retrieve bridge").ok);
+
+  // Alice revises first; Bob's stale store is refused, not clobbered.
+  ASSERT_TRUE(alice.execute("store bridge if-rev=1").ok);  // rev 2
+  const auto stale = bob.execute("store bridge if-rev=1");
+  EXPECT_FALSE(stale.ok);
+  EXPECT_NE(stale.text.find("conflict"), std::string::npos);
+  EXPECT_EQ(db.revision("bridge"), 2u);
+
+  // The retry protocol: re-read, then CAS against what was seen.
+  ASSERT_TRUE(bob.execute("retrieve bridge").ok);
+  ASSERT_TRUE(bob.execute("store bridge if-rev=2").ok);
+  EXPECT_EQ(db.revision("bridge"), 3u);
+
+  // A conflicted transactional commit reports and drops the transaction.
+  ASSERT_TRUE(bob.execute("begin").ok);
+  ASSERT_TRUE(bob.execute("store bridge if-rev=3").ok);
+  ASSERT_TRUE(alice.execute("store bridge").ok);  // rev 4 wins the race
+  const auto clash = bob.execute("commit");
+  EXPECT_FALSE(clash.ok);
+  EXPECT_NE(clash.text.find("conflict"), std::string::npos);
+  EXPECT_EQ(db.revision("bridge"), 4u);
+  EXPECT_FALSE(bob.execute("commit").ok);  // the transaction is gone
+
+  const auto history = alice.execute("history bridge");
+  ASSERT_TRUE(history.ok);
+  EXPECT_NE(history.text.find("rev 4"), std::string::npos);
+}
+
+TEST(Session, RetrieveHistoricalRevision) {
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.execute("mesh truss bays=3 load=10").ok);
+  ASSERT_TRUE(session.execute("store m").ok);
+  ASSERT_TRUE(session.execute("load deck 1 1 -5").ok);
+  ASSERT_TRUE(session.execute("store m").ok);
+  const auto old_rev = session.execute("retrieve m rev=1");
+  ASSERT_TRUE(old_rev.ok) << old_rev.text;
+  EXPECT_NE(old_rev.text.find("rev 1"), std::string::npos);
+  EXPECT_FALSE(session.execute("retrieve m rev=99").ok);
 }
 
 TEST(Workspace, StorageAccounting) {

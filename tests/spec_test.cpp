@@ -15,11 +15,51 @@
 namespace fem2::spec {
 namespace {
 
-TEST(Grammars, AllFourLayersParseAndValidate) {
+TEST(Grammars, AllFiveLayersParseAndValidate) {
   EXPECT_TRUE(appvm_grammar().validate());
+  EXPECT_TRUE(db_grammar().validate());
   EXPECT_TRUE(navm_grammar().validate());
   EXPECT_TRUE(sysvm_grammar().validate());
   EXPECT_TRUE(hw_grammar().validate());
+}
+
+TEST(Layer1b, ReflectedDbEngineConforms) {
+  const auto grammar = db_grammar();
+
+  // A live engine mid-flight: committed chains (including a delete
+  // marker and a CAS bump), an open transaction with buffered writes,
+  // and non-zero commit/abort/conflict counters.
+  db::Engine engine;
+  engine.put("bridge", "model", "payload-1");
+  engine.put("bridge", "model", "payload-2", 1);
+  engine.put("mast", "results", "payload-3");
+  engine.erase("mast");
+  const auto aborted = engine.begin();
+  engine.put(aborted, "x", "model", "gone");
+  engine.abort(aborted);
+  EXPECT_THROW(engine.put("bridge", "model", "stale", 1),
+               db::ConflictError);
+  const auto open = engine.begin();
+  engine.put(open, "bridge", "model", "buffered", 2);
+  engine.put(open, "new-entry", "model", "buffered-too");
+
+  hgraph::HGraph g;
+  const auto root = reflect_db_engine(g, engine);
+  const auto check = grammar.conforms(g, root, "dbengine");
+  EXPECT_TRUE(check) << check.error;
+}
+
+TEST(Layer1b, CorruptedDbStateIsRejected) {
+  const auto grammar = db_grammar();
+  db::Engine engine;
+  engine.put("bridge", "model", "payload");
+  hgraph::HGraph g;
+  const auto root = reflect_db_engine(g, engine);
+  // Corrupt: a version loses its revision number.
+  const auto version = g.follow_path(root, {"chain[0]", "version[0]"});
+  ASSERT_TRUE(version.valid());
+  g.remove_arc(version, "revision");
+  EXPECT_FALSE(grammar.conforms(g, root, "dbengine"));
 }
 
 TEST(Layer1, ReflectedModelsConform) {
