@@ -11,27 +11,27 @@
 
 using namespace fem2;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E10", argc, argv);
   bench::print_header("E10 bench_cluster_shape",
                       "factoring a fixed 64-PE budget into clusters");
 
-  const auto model = bench::cantilever_sheet(48, 12);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 24u : 48u, 12);
+  const std::size_t workers = bench::smoke() ? 16 : 32;
 
   support::Table table(
-      "48x12 sheet, 32 CG workers, 64 PEs total (shape = clusters x PEs)");
+      "sheet solve, 64 PEs total (shape = clusters x PEs)");
   table.set_header({"shape", "cycles", "network msgs", "local msgs",
                     "network traffic", "channel busy cycles",
                     "kernel dispatches", "PE utilization %"});
 
-  for (const auto& [clusters, ppc] :
-       {std::pair<std::size_t, std::size_t>{1, 64},
-        {2, 32},
-        {4, 16},
-        {8, 8},
-        {16, 4},
-        {32, 2},
-        {64, 1}}) {
-    bench::ParallelRun run(model, 32, bench::machine_shape(clusters, ppc));
+  std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {1, 64}, {2, 32}, {4, 16}, {8, 8}, {16, 4}, {32, 2}, {64, 1}};
+  if (bench::smoke()) shapes = {{4, 16}, {8, 8}, {16, 4}};
+  for (const auto& [clusters, ppc] : shapes) {
+    bench::ParallelRun run(model, workers,
+                           bench::machine_shape(clusters, ppc));
     const auto& net = run.stack.machine->metrics().network;
     const auto elapsed = run.elapsed();
     table.row()
@@ -44,6 +44,9 @@ int main() {
         .cell(run.stack.os->metrics().kernel_dispatches)
         .cell(100.0 * run.stack.machine->metrics().pe_utilization(elapsed),
               1);
+    bench::note("shape_cycles_" + std::to_string(clusters) + "x" +
+                    std::to_string(ppc),
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 
@@ -69,6 +72,8 @@ int main() {
         .cell(net.local_messages)
         .cell(100.0 * run.stack.machine->metrics().pe_utilization(elapsed),
               1);
+    bench::note(std::string("placement_cycles_") + name,
+                static_cast<double>(elapsed), "cycles");
   }
   placement_table.print(std::cout);
 
@@ -83,5 +88,5 @@ int main() {
                "spreading policies trade network traffic\nfor balance; "
                "local placement avoids the network but gives up multi-job "
                "balance.\n";
-  return 0;
+  return bench::finish();
 }

@@ -3,8 +3,15 @@
 // deterministic simulator, so EXPERIMENTS.md is reproducible.
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "fem/mesh.hpp"
 #include "fem/solver.hpp"
@@ -15,6 +22,106 @@
 #include "sysvm/os.hpp"
 
 namespace fem2::bench {
+
+// --- machine-readable reports --------------------------------------------
+//
+// Every bench calls init("E<n>", argc, argv) first and finish() last, and
+// records its headline numbers with note().  finish() writes
+// BENCH_E<n>.json ({experiment, rows: [{metric, value, unit}],
+// host_wall_ms}) next to the binary (or into $FEM2_BENCH_DIR), which the CI
+// bench-smoke job archives and feeds to tools/bench_compare.py.  `--smoke`
+// switches the bench to a reduced workload sized for CI; metric names must
+// stay stable within a mode so baselines compare run-over-run.
+
+namespace detail {
+
+struct ReportRow {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct ReportState {
+  std::string experiment;
+  bool smoke = false;
+  std::vector<ReportRow> rows;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline ReportState& report_state() {
+  static ReportState state;
+  return state;
+}
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 9.0e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Parse bench arguments (`--smoke`) and start the wall clock.
+inline void init(std::string_view experiment, int argc, char** argv) {
+  auto& state = detail::report_state();
+  state.experiment = std::string(experiment);
+  state.start = std::chrono::steady_clock::now();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") state.smoke = true;
+  }
+}
+
+/// True when running the reduced CI workload.
+inline bool smoke() { return detail::report_state().smoke; }
+
+/// Record one headline number for the JSON report.
+inline void note(std::string_view metric, double value,
+                 std::string_view unit) {
+  detail::report_state().rows.push_back(
+      {std::string(metric), value, std::string(unit)});
+}
+
+/// Write BENCH_<experiment>.json; returns 0 so main can `return finish()`.
+inline int finish() {
+  auto& state = detail::report_state();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state.start)
+          .count();
+  std::string dir = ".";
+  if (const char* env = std::getenv("FEM2_BENCH_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + state.experiment + ".json";
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"" << detail::json_escape(state.experiment)
+      << "\",\n  \"rows\": [";
+  for (std::size_t i = 0; i < state.rows.size(); ++i) {
+    const auto& row = state.rows[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"metric\": \""
+        << detail::json_escape(row.metric) << "\", \"value\": "
+        << detail::json_number(row.value) << ", \"unit\": \""
+        << detail::json_escape(row.unit) << "\"}";
+  }
+  out << "\n  ],\n  \"host_wall_ms\": " << detail::json_number(wall_ms)
+      << "\n}\n";
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+  } else {
+    std::cout << "\n[report] " << path << "\n";
+  }
+  return 0;
+}
 
 /// A fresh machine + OS + runtime, with the parallel ops registered.
 struct Stack {

@@ -14,7 +14,8 @@ using namespace fem2;
 namespace {
 
 void solve_traffic() {
-  const auto model = bench::cantilever_sheet(32, 8);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 16u : 32u, 8);
   bench::ParallelRun run(model, 8, bench::machine_shape(4, 4));
   const auto& os_metrics = run.stack.os->metrics();
   const auto& net = run.stack.machine->metrics().network;
@@ -49,6 +50,12 @@ void solve_traffic() {
                    1)
             << "% cross the network); channel serialization "
             << support::format_count(net.channel_busy_cycles) << " cycles\n";
+
+  bench::note("solve_cycles", static_cast<double>(run.elapsed()), "cycles");
+  bench::note("network_messages", static_cast<double>(net.messages), "msgs");
+  bench::note("local_messages", static_cast<double>(net.local_messages),
+              "msgs");
+  bench::note("network_bytes", static_cast<double>(net.bytes), "bytes");
 }
 
 /// Reader task: performs `count` reads of the window passed in params.
@@ -62,7 +69,8 @@ void window_patterns() {
     const char* name;
     std::function<std::vector<navm::Window>(const navm::Window&)> make;
   };
-  const std::size_t rows = 64, cols = 64;
+  const std::size_t rows = bench::smoke() ? 16 : 64;
+  const std::size_t cols = rows;
   const std::vector<PatternCase> cases = {
       {"whole array (1 x 4096 elems)", [](const navm::Window& a) {
          return std::vector<navm::Window>{a};
@@ -140,13 +148,17 @@ void window_patterns() {
         .cell(calls)
         .cell(support::format_bytes(returns_bytes))
         .cell(static_cast<std::uint64_t>(fresh.machine->now()));
+    bench::note("pattern_" + std::to_string(&pattern - cases.data()) +
+                    "_cycles",
+                static_cast<double>(fresh.machine->now()), "cycles");
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E3", argc, argv);
   bench::print_header("E3 bench_communication_patterns",
                       "windows, large messages, irregular communication");
   solve_traffic();
@@ -155,5 +167,5 @@ int main() {
   std::cout << "\nShape check: remote-call/remote-return dominate counts "
                "(window traffic);\nfiner windows trade larger transfers for "
                "many more messages.\n";
-  return 0;
+  return bench::finish();
 }

@@ -22,9 +22,10 @@ using namespace fem2;
 
 namespace {
 
-constexpr std::size_t kTotalCommits = 2048;
 constexpr std::size_t kNamePool = 64;
 constexpr std::size_t kPayloadBytes = 1024;
+
+std::size_t total_commits() { return bench::smoke() ? 256 : 2048; }
 
 struct WorkloadResult {
   double elapsed_ms = 0.0;
@@ -35,7 +36,7 @@ struct WorkloadResult {
 
 WorkloadResult run_sessions(db::Engine& engine, std::size_t sessions) {
   const std::string payload(kPayloadBytes, 'm');
-  const std::size_t per_session = kTotalCommits / sessions;
+  const std::size_t per_session = total_commits() / sessions;
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -78,9 +79,10 @@ WorkloadResult run_sessions(db::Engine& engine, std::size_t sessions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E11", argc, argv);
   std::cout << "E11: fem2-db commit throughput and recovery time\n"
-            << "     " << kTotalCommits << " committed transactions total, "
+            << "     " << total_commits() << " committed transactions total, "
             << kPayloadBytes << "-byte payloads, " << kNamePool
             << "-name pool + 1 hot CAS name, fsync on every commit\n\n";
 
@@ -122,6 +124,12 @@ int main() {
         .cell(workload.wal_bytes / 1024.0, 1)
         .cell(recovery_ms, 2)
         .cell(recovered.stats().recovered_txns);
+    bench::note("commits_per_s_k" + std::to_string(sessions),
+                1000.0 * static_cast<double>(workload.commits) /
+                    workload.elapsed_ms,
+                "commits/s");
+    bench::note("recovery_ms_k" + std::to_string(sessions), recovery_ms,
+                "ms");
   }
   table.print(std::cout);
   std::filesystem::remove_all(base);
@@ -132,5 +140,5 @@ int main() {
          "CAS-retry overhead; conflicts appear only once two sessions race\n"
          "the hot name.  Recovery time scales with log volume, not with\n"
          "the session count that produced it.\n";
-  return 0;
+  return bench::finish();
 }

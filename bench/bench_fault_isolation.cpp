@@ -75,6 +75,8 @@ void fem2_failures() {
         .cell(static_cast<std::uint64_t>(elapsed))
         .cell(static_cast<double>(elapsed) / static_cast<double>(baseline), 2)
         .cell(stack.os->metrics().steps_redone);
+    bench::note("failed_pes_" + std::to_string(&c - cases.data()) + "_cycles",
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 }
@@ -140,6 +142,9 @@ void fem2_cluster_loss() {
         .cell(os.tasks_relocated)
         .cell(os.trees_restarted)
         .cell(os.retransmissions);
+    bench::note("cluster_loss_" + std::to_string(&c - cases.data()) +
+                    "_cycles",
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 }
@@ -214,7 +219,8 @@ void fem1_contrast() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E5", argc, argv);
   bench::print_header("E5 bench_fault_isolation",
                       "reconfigurability isolates faulty components");
   fem2_failures();
@@ -229,5 +235,5 @@ int main() {
                "re-execution + cluster-loss recovery + retransmission),\n"
                "always reaching the bit-identical answer; the FEM-1 static "
                "array stalls until\na costly manual repartition.\n";
-  return 0;
+  return bench::finish();
 }

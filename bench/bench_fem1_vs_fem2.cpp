@@ -19,10 +19,10 @@ void problem_sweep() {
   table.set_header({"grid", "dofs", "FEM-1 iters", "FEM-1 Mcycles",
                     "FEM-2 iters", "FEM-2 Mcycles", "FEM-2 advantage"});
 
-  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{8, 4},
-                              {16, 8},
-                              {32, 8},
-                              {48, 12}}) {
+  std::vector<std::pair<std::size_t, std::size_t>> grids = {
+      {8, 4}, {16, 8}, {32, 8}, {48, 12}};
+  if (bench::smoke()) grids = {{8, 4}, {16, 8}};
+  for (const auto& [nx, ny] : grids) {
     const auto model = bench::cantilever_sheet(nx, ny);
     const auto system = fem::assemble(model);
 
@@ -47,6 +47,11 @@ void problem_sweep() {
         .cell(static_cast<std::uint64_t>(fem2_run.solution.stats.iterations))
         .cell(static_cast<double>(fem2_run.elapsed()) / 1e6, 1)
         .cell(ratio, 1);
+    const std::string grid = std::to_string(nx) + "x" + std::to_string(ny);
+    bench::note("fem1_cycles_" + grid,
+                static_cast<double>(fem1_result.elapsed), "cycles");
+    bench::note("fem2_cycles_" + grid,
+                static_cast<double>(fem2_run.elapsed()), "cycles");
   }
   table.print(std::cout);
 }
@@ -57,13 +62,13 @@ void machine_size_sweep() {
       "case)");
   table.set_header({"PEs", "FEM-1 Mcycles", "FEM-1 utilization %",
                     "FEM-2 shape", "FEM-2 Mcycles", "advantage"});
-  const auto model = bench::cantilever_sheet(32, 8);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 16u : 32u, 8);
 
-  for (const auto& [pes, clusters, ppc] :
-       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 1, 4},
-        {16, 2, 8},
-        {36, 6, 6},
-        {64, 8, 8}}) {
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> machines = {
+      {4, 1, 4}, {16, 2, 8}, {36, 6, 6}, {64, 8, 8}};
+  if (bench::smoke()) machines = {{16, 2, 8}, {64, 8, 8}};
+  for (const auto& [pes, clusters, ppc] : machines) {
     fem1::Fem1Config fem1_config;
     fem1_config.processors = pes;
     const auto fem1_result = fem1::fem1_solve_model(
@@ -89,7 +94,8 @@ void machine_size_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E7", argc, argv);
   bench::print_header("E7 bench_fem1_vs_fem2",
                       "bottom-up FEM-1 baseline vs top-down FEM-2");
   problem_sweep();
@@ -99,5 +105,5 @@ int main() {
                "grow — relaxation\niteration counts explode where CG's "
                "do not, and the FEM-1 bus serializes\nwhat FEM-2 windows "
                "keep inside clusters.\n";
-  return 0;
+  return bench::finish();
 }

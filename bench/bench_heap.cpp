@@ -71,7 +71,8 @@ void synthetic_trace() {
   for (const auto policy :
        {sysvm::HeapPolicy::FirstFit, sysvm::HeapPolicy::BestFit,
         sysvm::HeapPolicy::NextFit}) {
-    const auto result = replay_trace(policy, 42, 60'000);
+    const auto result = replay_trace(policy, 42, bench::smoke() ? 10'000
+                                                                : 60'000);
     table.row()
         .cell(std::string(sysvm::heap_policy_name(policy)))
         .cell(support::format_bytes(result.stats.high_water))
@@ -82,6 +83,9 @@ void synthetic_trace() {
                       std::max<std::uint64_t>(result.stats.allocations, 1)),
               1)
         .cell(static_cast<std::uint64_t>(result.peak_live));
+    bench::note(std::string("trace_search_steps_") +
+                    std::string(sysvm::heap_policy_name(policy)),
+                static_cast<double>(result.stats.search_steps), "steps");
   }
   table.print(std::cout);
 }
@@ -147,13 +151,17 @@ void live_workload_profile() {
                       std::max<std::uint64_t>(combined.allocations, 1)),
               1)
         .cell(static_cast<std::uint64_t>(stack.machine->now()));
+    bench::note(std::string("live_cycles_") +
+                    std::string(sysvm::heap_policy_name(policy)),
+                static_cast<double>(stack.machine->now()), "cycles");
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E6", argc, argv);
   bench::print_header("E6 bench_heap",
                       "variable-size-block heap placement policies");
   synthetic_trace();
@@ -167,5 +175,5 @@ int main() {
                "policy serves it equally —\nthe general heap matters for "
                "the irregular, long-lived allocation mixes the\npaper "
                "anticipates.\n";
-  return 0;
+  return bench::finish();
 }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "fem/mesh.hpp"
 #include "spec/layers.hpp"
 #include "spec/reflect.hpp"
@@ -33,11 +34,10 @@ void scaling_table() {
       "Grammar conformance of reflected layer-1 states (single check)");
   table.set_header({"grid", "H-graph nodes", "H-graph bytes", "conforms"});
   const auto grammar = spec::appvm_grammar();
-  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{4, 2},
-                              {8, 4},
-                              {16, 8},
-                              {32, 16},
-                              {64, 32}}) {
+  std::vector<std::pair<std::size_t, std::size_t>> grids = {
+      {4, 2}, {8, 4}, {16, 8}, {32, 16}, {64, 32}};
+  if (bench::smoke()) grids = {{4, 2}, {8, 4}, {16, 8}};
+  for (const auto& [nx, ny] : grids) {
     hgraph::HGraph g;
     const auto root = spec::reflect_model(g, plate_model(nx, ny));
     const auto check = grammar.conforms(g, root, "structure");
@@ -46,6 +46,11 @@ void scaling_table() {
         .cell(static_cast<std::uint64_t>(g.node_count()))
         .cell(static_cast<std::uint64_t>(g.storage_bytes()))
         .cell(check ? "yes" : "NO");
+    const std::string grid = std::to_string(nx) + "x" + std::to_string(ny);
+    bench::note("hgraph_nodes_" + grid,
+                static_cast<double>(g.node_count()), "nodes");
+    bench::note("hgraph_bytes_" + grid,
+                static_cast<double>(g.storage_bytes()), "bytes");
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -104,6 +109,7 @@ BENCHMARK(bm_grammar_parse);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init("E9", argc, argv);
   std::cout << "======================================================="
                "=====================\n"
                "E9 bench_hgraph — cost of the executable formal "
@@ -111,10 +117,21 @@ int main(int argc, char** argv) {
                "======================================================="
                "=====================\n";
   scaling_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!bench::smoke()) {
+    // google-benchmark owns the remaining flags; drop ours before handing
+    // argv over.  Smoke runs skip the host-kernel timing loops entirely —
+    // the scaling table already exercises the code.
+    std::vector<char*> pass_through;
+    for (int i = 0; i < argc; ++i) {
+      if (std::string_view(argv[i]) != "--smoke")
+        pass_through.push_back(argv[i]);
+    }
+    int pass_argc = static_cast<int>(pass_through.size());
+    benchmark::Initialize(&pass_argc, pass_through.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
   std::cout << "\nShape check: conformance checking is linear in reflected "
                "state size —\ncheap enough to run alongside every "
                "simulation step in the tests.\n";
-  return 0;
+  return bench::finish();
 }

@@ -103,8 +103,10 @@ void dot_sweep() {
       "Distributed inner product, n = 16384, 4 clusters x 8 PEs");
   table.set_header({"workers", "reduction", "cycles", "flop / kcycle",
                     "messages"});
+  std::vector<std::uint32_t> workers = {1, 2, 4, 8, 16};
+  if (bench::smoke()) workers = {1, 4};
   for (const bool use_collector : {false, true}) {
-    for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    for (const std::uint32_t k : workers) {
       bench::Stack stack(bench::machine_shape(4, 8));
       register_drivers(*stack.runtime);
       const auto task = stack.runtime->launch(
@@ -118,6 +120,10 @@ void dot_sweep() {
           .cell(static_cast<std::uint64_t>(stack.machine->now()))
           .cell(flops_per_kcycle(2 * kN, stack.machine->now()), 1)
           .cell(stack.os->metrics().total_messages());
+      bench::note("dot_cycles_" +
+                      std::string(use_collector ? "collector" : "join") +
+                      "_k" + std::to_string(k),
+                  static_cast<double>(stack.machine->now()), "cycles");
     }
   }
   table.print(std::cout);
@@ -126,7 +132,9 @@ void dot_sweep() {
 void axpy_sweep() {
   support::Table table("Distributed axpy, n = 16384");
   table.set_header({"workers", "cycles", "flop / kcycle"});
-  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+  std::vector<std::uint32_t> workers = {1, 2, 4, 8, 16};
+  if (bench::smoke()) workers = {1, 4};
+  for (const std::uint32_t k : workers) {
     bench::Stack stack(bench::machine_shape(4, 8));
     register_drivers(*stack.runtime);
     const auto task = stack.runtime->launch("bench.axpy.driver",
@@ -137,19 +145,24 @@ void axpy_sweep() {
         .cell(static_cast<std::uint64_t>(k))
         .cell(static_cast<std::uint64_t>(stack.machine->now()))
         .cell(flops_per_kcycle(2 * kN, stack.machine->now()), 1);
+    bench::note("axpy_cycles_k" + std::to_string(k),
+                static_cast<double>(stack.machine->now()), "cycles");
   }
   table.print(std::cout);
 }
 
 void matvec_sweep() {
-  const auto model = bench::cantilever_sheet(48, 12);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 24u : 48u, 12);
   const auto system = fem::assemble(model);
   const auto& a = system.stiffness;
   const std::size_t n = a.rows();
 
-  support::Table table("Distributed sparse matvec (stiffness of 48x12 sheet)");
+  support::Table table("Distributed sparse matvec (stiffness sheet)");
   table.set_header({"workers", "cycles", "flop / kcycle", "traffic"});
-  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+  std::vector<std::uint32_t> workers = {1, 2, 4, 8, 16};
+  if (bench::smoke()) workers = {1, 4};
+  for (const std::uint32_t k : workers) {
     bench::Stack stack(bench::machine_shape(4, 8));
     auto& runtime = *stack.runtime;
     runtime.define_task(
@@ -184,13 +197,16 @@ void matvec_sweep() {
         .cell(flops_per_kcycle(2 * a.nonzeros(), stack.machine->now()), 1)
         .cell(support::format_bytes(
             stack.machine->metrics().total_bytes()));
+    bench::note("matvec_cycles_k" + std::to_string(k),
+                static_cast<double>(stack.machine->now()), "cycles");
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E8", argc, argv);
   bench::print_header("E8 bench_linear_algebra",
                       "distributed inner product / axpy / matvec through "
                       "windows");
@@ -203,5 +219,5 @@ int main() {
                "traffic dominates;\ncollector reduction trades "
                "terminate-notify messages for remote-call\ndeposits with "
                "similar totals at small K.\n";
-  return 0;
+  return bench::finish();
 }

@@ -21,7 +21,9 @@ void user_level() {
                     "speedup"});
   const auto config = bench::machine_shape(4, 4);
 
-  for (const std::size_t m : {1u, 2u, 4u, 8u}) {
+  std::vector<std::size_t> problem_counts = {1, 2, 4, 8};
+  if (bench::smoke()) problem_counts = {1, 2};
+  for (const std::size_t m : problem_counts) {
     // Serial: one machine per problem, cycles add up.
     hw::Cycles serial = 0;
     for (std::size_t i = 0; i < m; ++i) {
@@ -53,6 +55,8 @@ void user_level() {
         .cell(static_cast<std::uint64_t>(concurrent))
         .cell(static_cast<double>(serial) / static_cast<double>(concurrent),
               2);
+    bench::note("user_level_cycles_m" + std::to_string(m),
+                static_cast<double>(concurrent), "cycles");
   }
   table.print(std::cout);
 }
@@ -62,9 +66,12 @@ void substructure_level() {
   support::Table table(
       "(b) substructure level: condensation tasks on 8 clusters x 2 PEs");
   table.set_header({"substructures", "cycles", "speedup vs 1", "residual"});
-  const auto model = bench::cantilever_sheet(48, 8);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 24u : 48u, 8);
   hw::Cycles base = 0;
-  for (const std::size_t s : {1u, 2u, 4u, 8u}) {
+  std::vector<std::size_t> counts = {1, 2, 4, 8};
+  if (bench::smoke()) counts = {1, 2};
+  for (const std::size_t s : counts) {
     bench::Stack stack(bench::machine_shape(8, 2, 256u << 20));
     fem::register_substructure_tasks(*stack.runtime);
     fem::SubstructureStats stats;
@@ -81,6 +88,8 @@ void substructure_level() {
         .cell(static_cast<std::uint64_t>(elapsed))
         .cell(static_cast<double>(base) / static_cast<double>(elapsed), 2)
         .cell(residual.str());
+    bench::note("substructure_cycles_s" + std::to_string(s),
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 }
@@ -91,10 +100,13 @@ void equation_level() {
       "(c) equation level: distributed CG workers on 4 clusters x 8 PEs");
   table.set_header({"workers", "cycles", "speedup vs 1", "efficiency",
                     "iterations"});
-  const auto model = bench::cantilever_sheet(48, 12);
+  const auto model =
+      bench::cantilever_sheet(bench::smoke() ? 24u : 48u, 12);
   const auto config = bench::machine_shape(4, 8);
   hw::Cycles base = 0;
-  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+  std::vector<std::size_t> workers = {1, 2, 4, 8, 16};
+  if (bench::smoke()) workers = {1, 4};
+  for (const std::size_t k : workers) {
     bench::ParallelRun run(model, k, config);
     if (k == 1) base = run.elapsed();
     const double speedup =
@@ -105,13 +117,16 @@ void equation_level() {
         .cell(speedup, 2)
         .cell(speedup / static_cast<double>(k), 2)
         .cell(static_cast<std::uint64_t>(run.solution.stats.iterations));
+    bench::note("equation_cycles_k" + std::to_string(k),
+                static_cast<double>(run.elapsed()), "cycles");
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E2", argc, argv);
   bench::print_header("E2 bench_parallelism_levels",
                       "the three levels of FEM-2 parallelism (Conclusion)");
   user_level();
@@ -122,5 +137,5 @@ int main() {
   std::cout << "\nShape check: all three levels give real speedup; "
                "user-level scales best\n(independent problems), equation "
                "level saturates as communication grows.\n";
-  return 0;
+  return bench::finish();
 }

@@ -15,12 +15,17 @@
 
 using namespace fem2;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E1", argc, argv);
   bench::print_header(
       "E1 bench_requirements",
       "processing / storage / communication of a typical large application");
 
   const auto config = bench::machine_shape(4, 4);
+
+  std::vector<std::pair<std::size_t, std::size_t>> grids = {
+      {8, 4}, {16, 8}, {32, 8}, {48, 12}, {64, 16}, {96, 24}};
+  if (bench::smoke()) grids = {{8, 4}, {16, 8}};
 
   support::Table table(
       "Cantilever sheet pipeline on 4 clusters x 4 PEs "
@@ -30,12 +35,7 @@ int main() {
                     "stress Mcyc", "iters", "msgs", "traffic",
                     "model bytes", "matrix bytes", "mem high water"});
 
-  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{8, 4},
-                               {16, 8},
-                               {32, 8},
-                               {48, 12},
-                               {64, 16},
-                               {96, 24}}) {
+  for (const auto& [nx, ny] : grids) {
     const auto model = bench::cantilever_sheet(nx, ny);
 
     // Phase 1: parallel assembly on its own machine instance.
@@ -82,11 +82,24 @@ int main() {
         .cell(support::format_bytes(model.storage_bytes()))
         .cell(support::format_bytes(system.stiffness.storage_bytes()))
         .cell(support::format_bytes(machine_metrics.memory_high_water()));
+
+    const std::string grid =
+        std::to_string(nx) + "x" + std::to_string(ny);
+    bench::note("assemble_cycles_" + grid,
+                static_cast<double>(assembly_stats.elapsed), "cycles");
+    bench::note("solve_cycles_" + grid, static_cast<double>(run.elapsed()),
+                "cycles");
+    bench::note("solve_iterations_" + grid,
+                static_cast<double>(run.solution.stats.iterations), "iters");
+    bench::note("total_messages_" + grid,
+                static_cast<double>(total_messages), "msgs");
+    bench::note("total_bytes_" + grid, static_cast<double>(total_bytes),
+                "bytes");
   }
   table.print(std::cout);
 
   std::cout << "\nShape check (paper: solve dominates; storage and traffic "
                "grow with the grid;\ncommunication is a significant, "
                "measurable fraction of the solve).\n";
-  return 0;
+  return bench::finish();
 }

@@ -63,7 +63,9 @@ void initiation_storm() {
       "Flat initiation storms on 4 clusters x 8 PEs (leaf grain 2k cycles)");
   table.set_header({"K tasks", "cycles", "initiations / Mcycle",
                     "ready-queue peak", "PE utilization %"});
-  for (const std::uint32_t k : {8u, 32u, 128u, 512u}) {
+  std::vector<std::uint32_t> storms = {8, 32, 128, 512};
+  if (bench::smoke()) storms = {8, 32};
+  for (const std::uint32_t k : storms) {
     bench::Stack stack(bench::machine_shape(4, 8));
     register_storm_tasks(*stack.runtime);
     const auto task = stack.runtime->launch("storm.flat",
@@ -80,18 +82,22 @@ void initiation_storm() {
               1)
         .cell(metrics.ready_queue_peak)
         .cell(100.0 * stack.machine->metrics().pe_utilization(elapsed), 1);
+    bench::note("storm_cycles_k" + std::to_string(k),
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 }
 
 void tree_vs_flat() {
-  support::Table table("Fan-out shape, K = 512 leaves");
+  const std::int64_t leaves = bench::smoke() ? 128 : 512;
+  support::Table table("Fan-out shape, K = " + std::to_string(leaves) +
+                       " leaves");
   table.set_header({"shape", "cycles", "kernel dispatches",
                     "ready-queue peak"});
   for (const char* shape : {"storm.flat", "storm.tree"}) {
     bench::Stack stack(bench::machine_shape(4, 8));
     register_storm_tasks(*stack.runtime);
-    const auto task = stack.runtime->launch(shape, navm::payload_int(512));
+    const auto task = stack.runtime->launch(shape, navm::payload_int(leaves));
     stack.runtime->run();
     FEM2_CHECK(stack.os->task_finished(task));
     table.row()
@@ -99,6 +105,8 @@ void tree_vs_flat() {
         .cell(static_cast<std::uint64_t>(stack.machine->now()))
         .cell(stack.os->metrics().kernel_dispatches)
         .cell(stack.os->metrics().ready_queue_peak);
+    bench::note(std::string(shape) + "_cycles",
+                static_cast<double>(stack.machine->now()), "cycles");
   }
   table.print(std::cout);
 }
@@ -109,17 +117,15 @@ void any_pe_pickup() {
       "pool (K = 256)");
   table.set_header({"shape", "kernels", "workers/cluster", "cycles",
                     "PE utilization %"});
-  for (const auto& [clusters, ppc] :
-       {std::pair<std::size_t, std::size_t>{32, 1},
-        {16, 2},
-        {8, 4},
-        {4, 8},
-        {2, 16},
-        {1, 32}}) {
+  const std::int64_t pickup_k = bench::smoke() ? 64 : 256;
+  std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {32, 1}, {16, 2}, {8, 4}, {4, 8}, {2, 16}, {1, 32}};
+  if (bench::smoke()) shapes = {{8, 4}, {4, 8}};
+  for (const auto& [clusters, ppc] : shapes) {
     bench::Stack stack(bench::machine_shape(clusters, ppc));
     register_storm_tasks(*stack.runtime);
     const auto task = stack.runtime->launch("storm.flat",
-                                            navm::payload_int(256));
+                                            navm::payload_int(pickup_k));
     stack.runtime->run();
     FEM2_CHECK(stack.os->task_finished(task));
     const auto elapsed = stack.machine->now();
@@ -129,13 +135,17 @@ void any_pe_pickup() {
         .cell(static_cast<std::uint64_t>(ppc > 1 ? ppc - 1 : 1))
         .cell(static_cast<std::uint64_t>(elapsed))
         .cell(100.0 * stack.machine->metrics().pe_utilization(elapsed), 1);
+    bench::note("pickup_cycles_" + std::to_string(clusters) + "x" +
+                    std::to_string(ppc),
+                static_cast<double>(elapsed), "cycles");
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("E4", argc, argv);
   bench::print_header("E4 bench_task_initiation",
                       "large-scale dynamic task initiation & kernel "
                       "message fielding");
@@ -148,5 +158,5 @@ int main() {
                "kernel PEs saturate;\ntree fan-out relieves the single "
                "parent; a pool of workers per kernel beats\none-PE clusters "
                "(any available PE processes the queue).\n";
-  return 0;
+  return bench::finish();
 }

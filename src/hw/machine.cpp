@@ -9,7 +9,8 @@ Machine::Machine(const MachineConfig& config)
   FEM2_CHECK_MSG(config_.clusters > 0, "machine needs at least one cluster");
   FEM2_CHECK_MSG(config_.pes_per_cluster > 0,
                  "machine needs at least one PE per cluster");
-  pes_.resize(config_.total_pes());
+  engine_.configure(config_.clusters, config_.network_base_latency);
+  pes_ = std::vector<PeSlot>(config_.total_pes());
   clusters_.resize(config_.clusters);
   links_.resize(config_.clusters * config_.clusters);
   for (auto& l : links_) l.drop_probability = config_.network_drop_probability;
@@ -18,6 +19,10 @@ Machine::Machine(const MachineConfig& config)
   metrics_.network.clusters = config_.clusters;
   metrics_.network.traffic_matrix.assign(config_.clusters * config_.clusters,
                                          0);
+  net_deltas_ = std::vector<NetDeltas>(engine_.shard_count());
+  net_buffers_.resize(engine_.shard_count());
+  trace_buffers_.resize(engine_.shard_count());
+  engine_.add_barrier_hook([this] { flush_network(); });
 }
 
 void Machine::check_cluster(ClusterId cluster) const {
@@ -40,6 +45,24 @@ PeMetrics& Machine::pe_metrics(PeId pe) {
   return metrics_.pes[pe_flat_index(pe)];
 }
 
+Machine::NetDeltas& Machine::net_delta() const {
+  return net_deltas_[engine_.current_shard()];
+}
+
+void Machine::record_trace(const TraceEvent& ev) {
+  if (tracer_ == nullptr) return;
+  if (trace_sink_ != nullptr) {
+    trace_sink_->push_back(PendingTrace{flush_order_key_, ev});
+    return;
+  }
+  if (engine_.in_worker_phase()) {
+    trace_buffers_[engine_.current_shard()].push_back(
+        PendingTrace{engine_.current_key(), ev});
+    return;
+  }
+  tracer_->record(ev);
+}
+
 void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
                           std::any payload) {
   check_cluster(src);
@@ -51,21 +74,12 @@ void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
   metrics_.network
       .traffic_matrix[src.index * config_.clusters + dst.index] += 1;
 
-  if (src != dst) {
-    // Lossy / severable network: intra-cluster handoffs go through shared
-    // memory and never drop; inter-cluster packets face the link lottery.
-    auto& l = link(src, dst);
-    if (l.severed || (l.drop_probability > 0.0 &&
-                      net_rng_.chance(l.drop_probability))) {
-      drop_packet(src, dst, bytes);
-      return;
-    }
-  }
-
-  Cycles deliver_at;
   if (src == dst) {
-    metrics_.network.local_messages += 1;
-    metrics_.network.local_bytes += bytes;
+    // Intra-cluster handoffs go through shared memory, never drop, and
+    // touch only the sender's own shard — executed inline in every mode.
+    auto& nd = net_delta();
+    nd.local_messages += 1;
+    nd.local_bytes += bytes;
     Cycles start = now() + config_.intra_cluster_latency;
     if (config_.model_memory_contention) {
       const auto transfer = static_cast<Cycles>(
@@ -73,51 +87,130 @@ void Machine::send_packet(ClusterId src, ClusterId dst, std::size_t bytes,
       auto& port = clusters_[dst.index].memory_port_free_at;
       start = std::max(start, port);
       port = start + transfer;
-      metrics_.network.memory_port_busy_cycles += transfer;
+      nd.memory_port_busy_cycles += transfer;
       start += transfer;
     }
-    deliver_at = start;
-  } else {
-    metrics_.network.messages += 1;
-    metrics_.network.bytes += bytes;
-    const auto transfer =
-        static_cast<Cycles>(config_.network_cycles_per_byte *
-                            static_cast<double>(bytes));
-    Cycles start = now() + config_.network_base_latency;
-    if (config_.model_network_contention) {
-      auto& ch = clusters_[dst.index].channel_free_at;
-      start = std::max(start, ch);
-      ch = start + transfer;
-      metrics_.network.channel_busy_cycles += transfer;
-    }
-    deliver_at = start + transfer;
+    record_trace({now(), TraceKind::MessageSent, src, 0xffffffffu, bytes});
+    Packet packet{src, dst, bytes, std::move(payload)};
+    engine_.schedule_at(
+        start, [this, src, dst, bytes, packet = std::move(packet)]() mutable {
+          deliver_packet(src, dst, bytes, std::move(packet));
+        });
+    return;
   }
 
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::MessageSent, src, 0xffffffffu, bytes});
+  // Inter-cluster: reserve the delivery's identity now (so sequence
+  // counters advance identically in serial and parallel mode), then launch
+  // immediately in serial contexts or at the window barrier during a
+  // parallel phase.  The lookahead (network launch latency) guarantees the
+  // delivery cannot land before the barrier.
+  PendingSend ps{src,   dst,
+                 bytes, std::move(payload),
+                 now(), engine_.current_key(),
+                 engine_.reserve_origin()};
+  if (engine_.in_worker_phase()) {
+    net_buffers_[engine_.current_shard()].push_back(std::move(ps));
+  } else {
+    launch_packet(ps);
   }
-  Packet packet{src, dst, bytes, std::move(payload)};
-  engine_.schedule_at(
-      deliver_at, [this, src, dst, bytes, packet = std::move(packet)]() mutable {
-        auto& cl = clusters_[dst.index];
-        if (cl.lost) {
-          // Nobody is home: the packet evaporates at the dead cluster's
-          // network interface.
-          drop_packet(src, dst, bytes);
-          return;
-        }
-        cl.queue.push_back(std::move(packet));
-        auto& cm = metrics_.clusters[dst.index];
-        cm.packets_in += 1;
-        cm.bytes_in += bytes;
-        cm.queue_peak = std::max<std::uint64_t>(cm.queue_peak,
-                                                cl.queue.size());
-        if (tracer_ != nullptr) {
-          tracer_->record(
-              {now(), TraceKind::MessageDelivered, dst, 0xffffffffu, bytes});
-        }
-        notify_service(dst);
+}
+
+void Machine::launch_packet(PendingSend& ps) {
+  auto& l = link(ps.src, ps.dst);
+  if (l.severed ||
+      (l.drop_probability > 0.0 && net_rng_.chance(l.drop_probability))) {
+    drop_packet(ps.src, ps.dst, ps.bytes, ps.send_time);
+    return;
+  }
+  metrics_.network.messages += 1;
+  metrics_.network.bytes += ps.bytes;
+  const auto transfer = static_cast<Cycles>(
+      config_.network_cycles_per_byte * static_cast<double>(ps.bytes));
+  Cycles start = ps.send_time + config_.network_base_latency;
+  if (config_.model_network_contention) {
+    auto& ch = clusters_[ps.dst.index].channel_free_at;
+    start = std::max(start, ch);
+    ch = start + transfer;
+    metrics_.network.channel_busy_cycles += transfer;
+  }
+  const Cycles deliver_at = start + transfer;
+  record_trace(
+      {ps.send_time, TraceKind::MessageSent, ps.src, 0xffffffffu, ps.bytes});
+  Packet packet{ps.src, ps.dst, ps.bytes, std::move(ps.payload)};
+  const ClusterId src = ps.src;
+  const ClusterId dst = ps.dst;
+  const std::size_t bytes = ps.bytes;
+  engine_.schedule_reserved(
+      dst.index, deliver_at, ps.origin,
+      [this, src, dst, bytes, packet = std::move(packet)]() mutable {
+        deliver_packet(src, dst, bytes, std::move(packet));
       });
+}
+
+void Machine::deliver_packet(ClusterId src, ClusterId dst, std::size_t bytes,
+                             Packet packet) {
+  auto& cl = clusters_[dst.index];
+  if (cl.lost) {
+    // Nobody is home: the packet evaporates at the dead cluster's network
+    // interface.
+    drop_packet(src, dst, bytes, now());
+    return;
+  }
+  cl.queue.push_back(std::move(packet));
+  auto& cm = metrics_.clusters[dst.index];
+  cm.packets_in += 1;
+  cm.bytes_in += bytes;
+  cm.queue_peak = std::max<std::uint64_t>(cm.queue_peak, cl.queue.size());
+  record_trace({now(), TraceKind::MessageDelivered, dst, 0xffffffffu, bytes});
+  notify_service(dst);
+}
+
+void Machine::flush_network() {
+  const std::uint32_t nshards = engine_.shard_count();
+  bool have_work = false;
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    if (!net_buffers_[s].empty() || !trace_buffers_[s].empty()) {
+      have_work = true;
+      break;
+    }
+  }
+  if (!have_work) return;
+
+  // Merge buffered sends into exact serial order: per-shard buffers are
+  // already sorted by sending-event key (a shard executes its events in
+  // key order), and keys never collide across shards.
+  std::vector<PendingSend> sends;
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    auto& buf = net_buffers_[s];
+    std::move(buf.begin(), buf.end(), std::back_inserter(sends));
+    buf.clear();
+  }
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const PendingSend& a, const PendingSend& b) {
+                     return a.order < b.order;
+                   });
+
+  std::vector<PendingTrace> records;
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    auto& buf = trace_buffers_[s];
+    std::move(buf.begin(), buf.end(), std::back_inserter(records));
+    buf.clear();
+  }
+
+  trace_sink_ = &records;
+  for (auto& ps : sends) {
+    flush_order_key_ = ps.order;
+    launch_packet(ps);
+  }
+  trace_sink_ = nullptr;
+
+  if (tracer_ != nullptr && !records.empty()) {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const PendingTrace& a, const PendingTrace& b) {
+                       return a.key < b.key;
+                     });
+    for (const auto& r : records) tracer_->record(r.event);
+  }
 }
 
 std::optional<Packet> Machine::pop_packet(ClusterId cluster) {
@@ -150,7 +243,9 @@ PeId Machine::kernel_pe(ClusterId cluster) const {
   check_cluster(cluster);
   for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
     const PeId pe{cluster, i};
-    if (slot(pe).state != PeState::Failed) return pe;
+    if (slot(pe).state.load(std::memory_order_relaxed) != PeState::Failed) {
+      return pe;
+    }
   }
   return PeId{};
 }
@@ -162,8 +257,8 @@ PeId Machine::acquire_worker(ClusterId cluster) {
   for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
     const PeId pe{cluster, i};
     if (pe == kernel && config_.pes_per_cluster > 1) continue;
-    if (slot(pe).state == PeState::Idle) {
-      slot(pe).state = PeState::Busy;
+    if (slot(pe).state.load(std::memory_order_relaxed) == PeState::Idle) {
+      slot(pe).state.store(PeState::Busy, std::memory_order_relaxed);
       return pe;
     }
   }
@@ -172,16 +267,17 @@ PeId Machine::acquire_worker(ClusterId cluster) {
 
 bool Machine::try_acquire_pe(PeId pe) {
   auto& s = slot(pe);
-  if (s.state != PeState::Idle) return false;
-  s.state = PeState::Busy;
+  if (s.state.load(std::memory_order_relaxed) != PeState::Idle) return false;
+  s.state.store(PeState::Busy, std::memory_order_relaxed);
   return true;
 }
 
 void Machine::release_worker(PeId pe) {
   auto& s = slot(pe);
-  if (s.state == PeState::Failed) return;  // died while working
-  FEM2_CHECK_MSG(s.state == PeState::Busy, "releasing a PE that is not busy");
-  s.state = PeState::Idle;
+  const PeState st = s.state.load(std::memory_order_relaxed);
+  if (st == PeState::Failed) return;  // died while working
+  FEM2_CHECK_MSG(st == PeState::Busy, "releasing a PE that is not busy");
+  s.state.store(PeState::Idle, std::memory_order_relaxed);
   // A freed PE may unblock queued messages.
   notify_service(pe.cluster);
 }
@@ -189,35 +285,36 @@ void Machine::release_worker(PeId pe) {
 void Machine::occupy(PeId pe, Cycles duration,
                      std::function<void()> on_complete) {
   auto& s = slot(pe);
-  FEM2_CHECK_MSG(s.state != PeState::Failed, "occupying a failed PE");
+  FEM2_CHECK_MSG(s.state.load(std::memory_order_relaxed) != PeState::Failed,
+                 "occupying a failed PE");
   const std::uint32_t generation = s.generation;
   auto& pm = metrics_.pes[pe_flat_index(pe)];
   pm.busy_cycles += duration;
   pm.work_items += 1;
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::WorkStarted, pe.cluster, pe.index, 0});
-  }
-  engine_.schedule(duration, [this, pe, generation,
-                              on_complete = std::move(on_complete)] {
-    if (tracer_ != nullptr) {
-      tracer_->record(
-          {now(), TraceKind::WorkFinished, pe.cluster, pe.index, 0});
-    }
-    if (slot(pe).generation != generation) {
-      // The PE failed (or was power-cycled) while this work was in flight.
-      if (work_lost_) work_lost_(pe.cluster);
-      return;
-    }
-    if (on_complete) on_complete();
-  });
+  record_trace({now(), TraceKind::WorkStarted, pe.cluster, pe.index, 0});
+  // Anchor the completion to the PE's own cluster shard so work stays
+  // phase-local even when dispatched from a stop-world (global) context.
+  engine_.schedule_on(
+      pe.cluster.index, now() + duration,
+      [this, pe, generation, on_complete = std::move(on_complete)] {
+        record_trace(
+            {now(), TraceKind::WorkFinished, pe.cluster, pe.index, 0});
+        if (slot(pe).generation != generation) {
+          // The PE failed (or was power-cycled) while this work was in
+          // flight.
+          if (work_lost_) work_lost_(pe.cluster);
+          return;
+        }
+        if (on_complete) on_complete();
+      });
 }
 
 bool Machine::pe_alive(PeId pe) const {
-  return slot(pe).state != PeState::Failed;
+  return slot(pe).state.load(std::memory_order_relaxed) != PeState::Failed;
 }
 
 bool Machine::pe_busy(PeId pe) const {
-  return slot(pe).state == PeState::Busy;
+  return slot(pe).state.load(std::memory_order_relaxed) == PeState::Busy;
 }
 
 std::size_t Machine::alive_pes(ClusterId cluster) const {
@@ -235,21 +332,20 @@ std::size_t Machine::idle_workers(ClusterId cluster) const {
   for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
     const PeId pe{cluster, i};
     if (pe == kernel && config_.pes_per_cluster > 1) continue;
-    if (slot(pe).state == PeState::Idle) ++n;
+    if (slot(pe).state.load(std::memory_order_relaxed) == PeState::Idle) ++n;
   }
   return n;
 }
 
 void Machine::fail_pe(PeId pe) {
   auto& s = slot(pe);
-  if (s.state == PeState::Failed) return;
-  const bool was_busy = s.state == PeState::Busy;
-  s.state = PeState::Failed;
+  const PeState st = s.state.load(std::memory_order_relaxed);
+  if (st == PeState::Failed) return;
+  const bool was_busy = st == PeState::Busy;
+  s.state.store(PeState::Failed, std::memory_order_relaxed);
   s.generation += 1;
   failed_count_ += 1;
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::PeFailed, pe.cluster, pe.index, 0});
-  }
+  record_trace({now(), TraceKind::PeFailed, pe.cluster, pe.index, 0});
   if (was_busy && work_lost_) work_lost_(pe.cluster);
   if (alive_pes(pe.cluster) == 0) {
     handle_cluster_death(pe.cluster);
@@ -262,8 +358,8 @@ void Machine::fail_pe(PeId pe) {
 
 void Machine::restore_pe(PeId pe) {
   auto& s = slot(pe);
-  if (s.state != PeState::Failed) return;
-  s.state = PeState::Idle;
+  if (s.state.load(std::memory_order_relaxed) != PeState::Failed) return;
+  s.state.store(PeState::Idle, std::memory_order_relaxed);
   s.generation += 1;
   failed_count_ -= 1;
   auto& cl = clusters_[pe.cluster.index];
@@ -283,14 +379,13 @@ void Machine::fail_cluster(ClusterId cluster) {
   for (std::uint32_t i = 0; i < config_.pes_per_cluster; ++i) {
     const PeId pe{cluster, i};
     auto& s = slot(pe);
-    if (s.state == PeState::Failed) continue;
-    const bool was_busy = s.state == PeState::Busy;
-    s.state = PeState::Failed;
+    const PeState st = s.state.load(std::memory_order_relaxed);
+    if (st == PeState::Failed) continue;
+    const bool was_busy = st == PeState::Busy;
+    s.state.store(PeState::Failed, std::memory_order_relaxed);
     s.generation += 1;
     failed_count_ += 1;
-    if (tracer_ != nullptr) {
-      tracer_->record({now(), TraceKind::PeFailed, cluster, i, 0});
-    }
+    record_trace({now(), TraceKind::PeFailed, cluster, i, 0});
     if (was_busy && work_lost_) work_lost_(cluster);
   }
   handle_cluster_death(cluster);
@@ -303,13 +398,11 @@ void Machine::handle_cluster_death(ClusterId cluster) {
   failed_clusters_ += 1;
   // Purge everything that lived in the cluster: undecoded input packets and
   // the shared memory's contents die with the hardware.
-  for (const auto& p : cl.queue) drop_packet(p.source, cluster, p.bytes);
+  for (const auto& p : cl.queue) drop_packet(p.source, cluster, p.bytes, now());
   cl.queue.clear();
   cl.memory_in_use = 0;
   metrics_.clusters[cluster.index].memory_in_use = 0;
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::ClusterFailed, cluster, 0xffffffffu, 0});
-  }
+  record_trace({now(), TraceKind::ClusterFailed, cluster, 0xffffffffu, 0});
   if (cluster_lost_) cluster_lost_(cluster);
 }
 
@@ -352,9 +445,7 @@ void Machine::set_link_drop_probability(ClusterId src, ClusterId dst,
 
 void Machine::fail_link(ClusterId src, ClusterId dst) {
   link(src, dst).severed = true;
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::LinkFailed, dst, src.index, 0});
-  }
+  record_trace({now(), TraceKind::LinkFailed, dst, src.index, 0});
 }
 
 void Machine::restore_link(ClusterId src, ClusterId dst) {
@@ -365,12 +456,28 @@ bool Machine::link_severed(ClusterId src, ClusterId dst) const {
   return link(src, dst).severed;
 }
 
-void Machine::drop_packet(ClusterId src, ClusterId dst, std::size_t bytes) {
-  metrics_.network.dropped_messages += 1;
-  metrics_.network.dropped_bytes += bytes;
-  if (tracer_ != nullptr) {
-    tracer_->record({now(), TraceKind::MessageDropped, dst, src.index, bytes});
+void Machine::drop_packet(ClusterId src, ClusterId dst, std::size_t bytes,
+                          Cycles at) {
+  auto& nd = net_delta();
+  nd.dropped_messages += 1;
+  nd.dropped_bytes += bytes;
+  record_trace({at, TraceKind::MessageDropped, dst, src.index, bytes});
+}
+
+void Machine::fold_metrics() const {
+  for (auto& nd : net_deltas_) {
+    metrics_.network.local_messages += nd.local_messages;
+    metrics_.network.local_bytes += nd.local_bytes;
+    metrics_.network.memory_port_busy_cycles += nd.memory_port_busy_cycles;
+    metrics_.network.dropped_messages += nd.dropped_messages;
+    metrics_.network.dropped_bytes += nd.dropped_bytes;
+    nd = NetDeltas{};
   }
+}
+
+const MachineMetrics& Machine::metrics() const {
+  fold_metrics();
+  return metrics_;
 }
 
 void Machine::allocate(ClusterId cluster, std::size_t bytes) {

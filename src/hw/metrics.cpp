@@ -65,4 +65,41 @@ std::string MachineMetrics::summary(Cycles elapsed) const {
   return os.str();
 }
 
+std::string MachineMetrics::dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    os << "pe[" << i << "].busy_cycles=" << pes[i].busy_cycles << "\n"
+       << "pe[" << i << "].work_items=" << pes[i].work_items << "\n";
+  }
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const ClusterMetrics& c = clusters[i];
+    os << "cluster[" << i << "].packets_in=" << c.packets_in << "\n"
+       << "cluster[" << i << "].packets_out=" << c.packets_out << "\n"
+       << "cluster[" << i << "].bytes_in=" << c.bytes_in << "\n"
+       << "cluster[" << i << "].bytes_out=" << c.bytes_out << "\n"
+       << "cluster[" << i << "].kernel_dispatches=" << c.kernel_dispatches
+       << "\n"
+       << "cluster[" << i << "].memory_in_use=" << c.memory_in_use << "\n"
+       << "cluster[" << i << "].memory_high_water=" << c.memory_high_water
+       << "\n"
+       << "cluster[" << i << "].queue_peak=" << c.queue_peak << "\n";
+  }
+  os << "network.messages=" << network.messages << "\n"
+     << "network.bytes=" << network.bytes << "\n"
+     << "network.channel_busy_cycles=" << network.channel_busy_cycles << "\n"
+     << "network.local_messages=" << network.local_messages << "\n"
+     << "network.local_bytes=" << network.local_bytes << "\n"
+     << "network.memory_port_busy_cycles=" << network.memory_port_busy_cycles
+     << "\n"
+     << "network.dropped_messages=" << network.dropped_messages << "\n"
+     << "network.dropped_bytes=" << network.dropped_bytes << "\n";
+  for (std::size_t i = 0; i < network.traffic_matrix.size(); ++i) {
+    if (network.traffic_matrix[i] != 0) {
+      os << "network.traffic[" << i << "]=" << network.traffic_matrix[i]
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
 }  // namespace fem2::hw

@@ -63,6 +63,11 @@ struct MachineMetrics {
   std::size_t memory_high_water() const;
 
   std::string summary(Cycles elapsed) const;
+
+  /// Exhaustive, byte-stable dump of every counter (one line per field).
+  /// Two runs are bit-identical iff their dumps compare equal; the
+  /// determinism tests diff this across host thread counts.
+  std::string dump() const;
 };
 
 }  // namespace fem2::hw

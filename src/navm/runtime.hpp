@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -162,6 +163,10 @@ class Runtime {
   void register_builtin_procedures();
   /// Task-reaper hook: drop arrays and collectors owned by a reaped task.
   void purge_owned_by(sysvm::TaskId task);
+  /// Ids are striped per engine shard (id = n * shards + shard + 1) so
+  /// serial and parallel runs allocate identical values.
+  ArrayId make_array_id();
+  std::uint64_t make_collector_id();
   sysvm::Payload procedure_window_read(sysvm::ProcedureContext& ctx,
                                        const sysvm::Payload& args);
   sysvm::Payload procedure_window_write(sysvm::ProcedureContext& ctx,
@@ -170,10 +175,15 @@ class Runtime {
                                    const sysvm::Payload& args);
 
   sysvm::Os& os_;
+  /// Guards the *structure* of arrays_ / collectors_ (insert, erase, find)
+  /// during parallel phases.  Entry contents are touched only by the
+  /// owning cluster's shard (window procedures are routed to the array's
+  /// cluster) or stop-world recovery, so no lock is held around them.
+  mutable std::shared_mutex registry_mutex_;
   std::map<ArrayId, ArrayInfo> arrays_;
   std::map<std::uint64_t, Collector> collectors_;
-  ArrayId next_array_ = 1;
-  std::uint64_t next_collector_ = 1;
+  std::vector<std::uint64_t> next_array_;      ///< one counter per shard
+  std::vector<std::uint64_t> next_collector_;  ///< one counter per shard
   RuntimeObserver* observer_ = nullptr;
 };
 

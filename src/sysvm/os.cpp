@@ -1,8 +1,50 @@
 #include "sysvm/os.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
 
 namespace fem2::sysvm {
+
+namespace {
+
+// Registry locks engage only while a parallel phase is executing; outside
+// phases (serial mode, barriers, stop-world recovery, host calls) exactly
+// one thread touches the registries and the phase barrier already orders
+// the accesses, so the lock would be pure overhead.
+class OptSharedLock {
+ public:
+  OptSharedLock(std::shared_mutex& mutex, bool engage)
+      : mutex_(engage ? &mutex : nullptr) {
+    if (mutex_ != nullptr) mutex_->lock_shared();
+  }
+  ~OptSharedLock() {
+    if (mutex_ != nullptr) mutex_->unlock_shared();
+  }
+  OptSharedLock(const OptSharedLock&) = delete;
+  OptSharedLock& operator=(const OptSharedLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_;
+};
+
+class OptUniqueLock {
+ public:
+  OptUniqueLock(std::shared_mutex& mutex, bool engage)
+      : mutex_(engage ? &mutex : nullptr) {
+    if (mutex_ != nullptr) mutex_->lock();
+  }
+  ~OptUniqueLock() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+  OptUniqueLock(const OptUniqueLock&) = delete;
+  OptUniqueLock& operator=(const OptUniqueLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TaskApi
@@ -45,14 +87,18 @@ std::vector<TaskId> TaskApi::initiate(
   for (std::uint32_t i = 0; i < k; ++i) {
     MsgInitiate m;
     m.task_type = task_type;
-    m.task = os_.next_task_id_++;
+    m.task = os_.make_task_id();
     m.parent = self_;
     m.replication_index = i;
     m.replication_count = k;
     m.params = params_for ? params_for(i) : Payload{};
     ids.push_back(m.task);
     const hw::ClusterId target = os_.choose_cluster(source);
-    os_.task_homes_.emplace(m.task, target);
+    {
+      OptUniqueLock lock(os_.registry_mutex_,
+                         os_.machine().engine().in_worker_phase());
+      os_.task_homes_.emplace(m.task, target);
+    }
     outgoing_.emplace_back(target, Message{std::move(m)});
   }
   return ids;
@@ -63,7 +109,7 @@ CallToken TaskApi::remote_call(hw::ClusterId destination,
   MsgRemoteCall m;
   m.procedure = std::move(procedure);
   m.caller = self_;
-  m.token = os_.next_call_token_++;
+  m.token = os_.allocate_call_token();
   m.args = std::move(args);
   const CallToken token = m.token;
   outgoing_.emplace_back(destination, Message{std::move(m)});
@@ -183,16 +229,126 @@ std::uint64_t OsStats::total_message_bytes() const {
   return total;
 }
 
+std::string OsStats::dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+    os << "messages_sent[" << i << "]=" << messages_sent[i] << "\n"
+       << "message_bytes_sent[" << i << "]=" << message_bytes_sent[i] << "\n";
+  }
+  os << "tasks_initiated=" << tasks_initiated << "\n"
+     << "tasks_finished=" << tasks_finished << "\n"
+     << "procedures_executed=" << procedures_executed << "\n"
+     << "kernel_dispatches=" << kernel_dispatches << "\n"
+     << "steps_executed=" << steps_executed << "\n"
+     << "steps_redone=" << steps_redone << "\n"
+     << "ready_queue_peak=" << ready_queue_peak << "\n"
+     << "retransmissions=" << retransmissions << "\n"
+     << "duplicates_dropped=" << duplicates_dropped << "\n"
+     << "acks_sent=" << acks_sent << "\n"
+     << "clusters_lost=" << clusters_lost << "\n"
+     << "tasks_relocated=" << tasks_relocated << "\n"
+     << "trees_restarted=" << trees_restarted << "\n"
+     << "orphans_reaped=" << orphans_reaped << "\n"
+     << "stale_messages_dropped=" << stale_messages_dropped << "\n";
+  return os.str();
+}
+
 Os::Os(hw::Machine& machine, OsOptions options)
     : machine_(machine), options_(options) {
-  clusters_.resize(machine_.cluster_count());
-  heaps_.reserve(machine_.cluster_count());
-  for (std::size_t i = 0; i < machine_.cluster_count(); ++i)
+  const std::size_t cluster_count = machine_.cluster_count();
+  clusters_.resize(cluster_count);
+  heaps_.reserve(cluster_count);
+  for (std::size_t i = 0; i < cluster_count; ++i)
     heaps_.emplace_back(machine_.memory_capacity(), options_.heap_policy);
+  running_.assign(machine_.config().total_pes(), std::nullopt);
+  lanes_.resize(machine_.engine().shard_count());
+  for (auto& lane : lanes_) lane.load_delta.assign(cluster_count, 0);
+  load_board_.assign(cluster_count, 0);
+  // The channel maps are fully populated up front so runtime lookups never
+  // mutate the map structure (lookups happen concurrently across shards
+  // during parallel phases; each channel's state itself is touched only by
+  // its owning shard or stop-world recovery).
+  for (std::uint32_t s = 0; s < cluster_count; ++s) {
+    for (std::uint32_t d = 0; d < cluster_count; ++d) {
+      if (s == d) continue;
+      send_channels_[ChannelKey{s, d}];
+      recv_channels_[ChannelKey{s, d}];
+    }
+  }
   machine_.set_cluster_service([this](hw::ClusterId c) { service(c); });
   machine_.set_work_lost_handler([this](hw::ClusterId c) { on_work_lost(c); });
   machine_.set_cluster_lost_handler(
       [this](hw::ClusterId c) { on_cluster_lost(c); });
+  machine_.engine().add_barrier_hook([this] { replay_observations(); });
+  machine_.engine().add_refresh_hook([this] { refresh_load_board(); });
+}
+
+Os::ShardLane& Os::lane() {
+  return lanes_[machine_.engine().current_shard()];
+}
+
+const Os::ShardLane& Os::lane() const {
+  return lanes_[machine_.engine().current_shard()];
+}
+
+TaskId Os::make_task_id() {
+  const std::size_t idx = machine_.engine().current_shard();
+  ShardLane& lane = lanes_[idx];
+  return lane.next_task_id++ * lanes_.size() + idx + 1;
+}
+
+std::uint64_t Os::make_incarnation() {
+  const std::size_t idx = machine_.engine().current_shard();
+  ShardLane& lane = lanes_[idx];
+  return lane.next_incarnation++ * lanes_.size() + idx + 1;
+}
+
+CallToken Os::allocate_call_token() {
+  const std::size_t idx = machine_.engine().current_shard();
+  ShardLane& lane = lanes_[idx];
+  return lane.next_call_token++ * lanes_.size() + idx + 1;
+}
+
+void Os::sequenced(std::function<void()> thunk) {
+  auto& engine = machine_.engine();
+  if (!engine.in_worker_phase()) {
+    thunk();
+    return;
+  }
+  lanes_[engine.current_shard()].observations.emplace_back(
+      engine.current_key(), std::move(thunk));
+}
+
+void Os::notify_observer(std::function<void(OsObserver&)> fill) {
+  if (observer_ == nullptr) return;
+  sequenced([obs = observer_, fill = std::move(fill)] { fill(*obs); });
+}
+
+void Os::replay_observations() {
+  std::size_t total = 0;
+  for (const ShardLane& lane : lanes_) total += lane.observations.size();
+  if (total == 0) return;
+  std::vector<std::pair<hw::EventKey, std::function<void()>>> all;
+  all.reserve(total);
+  for (ShardLane& lane : lanes_) {
+    for (auto& entry : lane.observations) all.push_back(std::move(entry));
+    lane.observations.clear();
+  }
+  // stable_sort keeps the append order of thunks with equal keys; all
+  // thunks of one event live in one lane, so this is the emission order.
+  std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (auto& [key, thunk] : all) thunk();
+}
+
+void Os::refresh_load_board() {
+  for (ShardLane& lane : lanes_) {
+    for (std::size_t i = 0; i < load_board_.size(); ++i) {
+      load_board_[i] += lane.load_delta[i];
+      lane.load_delta[i] = 0;
+    }
+  }
 }
 
 void Os::register_task_type(CodeBlock block) {
@@ -220,12 +376,15 @@ TaskId Os::launch(const std::string& task_type, Payload params,
                  "launch of unregistered task type: " + task_type);
   MsgInitiate m;
   m.task_type = task_type;
-  m.task = next_task_id_++;
+  m.task = make_task_id();
   m.parent = kNoTask;
   m.params = std::move(params);
   const TaskId id = m.task;
   const hw::ClusterId target = choose_cluster(from);
-  task_homes_.emplace(id, target);
+  {
+    OptUniqueLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    task_homes_.emplace(id, target);
+  }
   send(from, target, Message{std::move(m)});
   return id;
 }
@@ -235,8 +394,15 @@ void Os::run() { machine_.engine().run(); }
 TaskState Os::task_state(TaskId task) const { return record(task).state; }
 
 bool Os::task_finished(TaskId task) const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   const auto it = tasks_.find(task);
   return it != tasks_.end() && it->second.state == TaskState::Finished;
+}
+
+bool Os::task_known(TaskId task) const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+  const auto it = tasks_.find(task);
+  return it != tasks_.end() && it->second.state != TaskState::Finished;
 }
 
 const Payload& Os::task_result(TaskId task) const {
@@ -247,6 +413,7 @@ const Payload& Os::task_result(TaskId task) const {
 }
 
 hw::ClusterId Os::task_cluster(TaskId task) const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   const auto it = task_homes_.find(task);
   FEM2_CHECK_MSG(it != task_homes_.end(),
                  "unknown task id " + std::to_string(task));
@@ -254,6 +421,7 @@ hw::ClusterId Os::task_cluster(TaskId task) const {
 }
 
 std::size_t Os::live_tasks() const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   std::size_t n = 0;
   for (const auto& [id, rec] : tasks_)
     if (rec.state != TaskState::Finished) ++n;
@@ -261,6 +429,7 @@ std::size_t Os::live_tasks() const {
 }
 
 std::vector<TaskId> Os::task_ids() const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   std::vector<TaskId> out;
   out.reserve(tasks_.size());
   for (const auto& [id, rec] : tasks_) out.push_back(id);
@@ -306,6 +475,7 @@ Os::WaitInfo Os::wait_info(TaskId task) const {
 }
 
 std::vector<Os::PendingCallInfo> Os::pending_call_infos() const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   std::vector<PendingCallInfo> out;
   out.reserve(pending_calls_.size());
   for (const auto& [token, call] : pending_calls_)
@@ -333,7 +503,36 @@ Heap& Os::heap(hw::ClusterId cluster) {
   return heaps_[cluster.index];
 }
 
+const OsStats& Os::metrics() const {
+  metrics_ = OsStats{};
+  for (const ShardLane& lane : lanes_) {
+    const OsStats& s = lane.stats;
+    for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+      metrics_.messages_sent[i] += s.messages_sent[i];
+      metrics_.message_bytes_sent[i] += s.message_bytes_sent[i];
+    }
+    metrics_.tasks_initiated += s.tasks_initiated;
+    metrics_.tasks_finished += s.tasks_finished;
+    metrics_.procedures_executed += s.procedures_executed;
+    metrics_.kernel_dispatches += s.kernel_dispatches;
+    metrics_.steps_executed += s.steps_executed;
+    metrics_.steps_redone += s.steps_redone;
+    metrics_.ready_queue_peak =
+        std::max(metrics_.ready_queue_peak, s.ready_queue_peak);
+    metrics_.retransmissions += s.retransmissions;
+    metrics_.duplicates_dropped += s.duplicates_dropped;
+    metrics_.acks_sent += s.acks_sent;
+    metrics_.clusters_lost += s.clusters_lost;
+    metrics_.tasks_relocated += s.tasks_relocated;
+    metrics_.trees_restarted += s.trees_restarted;
+    metrics_.orphans_reaped += s.orphans_reaped;
+    metrics_.stale_messages_dropped += s.stale_messages_dropped;
+  }
+  return metrics_;
+}
+
 Os::TaskRecord& Os::record(TaskId task) {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   const auto it = tasks_.find(task);
   FEM2_CHECK_MSG(it != tasks_.end(),
                  "unknown task id " + std::to_string(task));
@@ -341,6 +540,7 @@ Os::TaskRecord& Os::record(TaskId task) {
 }
 
 const Os::TaskRecord& Os::record(TaskId task) const {
+  OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   const auto it = tasks_.find(task);
   FEM2_CHECK_MSG(it != tasks_.end(),
                  "unknown task id " + std::to_string(task));
@@ -356,21 +556,24 @@ hw::ClusterId Os::choose_cluster(hw::ClusterId source) {
   // The chosen cluster's load is reserved immediately (not when the
   // initiate message travels), so a burst of initiations within one task
   // step spreads instead of piling onto the momentarily-least-loaded
-  // cluster.  Every policy places on live clusters only; a dead Local
-  // source falls back to least-loaded.
+  // cluster.  Loads are read from the window-stale board plus this lane's
+  // own pending deltas — identical in serial and parallel mode, so
+  // placement is thread-count invariant.  Every policy places on live
+  // clusters only; a dead Local source falls back to least-loaded.
+  ShardLane& ln = lane();
   switch (options_.placement) {
     case Placement::Local:
       if (machine_.cluster_alive(source)) {
-        cluster_state(source).live_load += 1;
+        ln.load_delta[source.index] += 1;
         return source;
       }
       break;
     case Placement::RoundRobin: {
       for (std::size_t tries = 0; tries < clusters_.size(); ++tries) {
-        const auto idx = round_robin_++ % clusters_.size();
+        const auto idx = ln.round_robin++ % clusters_.size();
         const hw::ClusterId c{static_cast<std::uint32_t>(idx)};
         if (!machine_.cluster_alive(c)) continue;
-        clusters_[idx].live_load += 1;
+        ln.load_delta[idx] += 1;
         return c;
       }
       throw support::Error("no alive clusters for task placement");
@@ -380,18 +583,19 @@ hw::ClusterId Os::choose_cluster(hw::ClusterId source) {
   }
 
   std::size_t best = ~std::size_t{0};
-  std::size_t best_load = ~std::size_t{0};
+  std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
   for (std::size_t i = 0; i < clusters_.size(); ++i) {
     const hw::ClusterId c{static_cast<std::uint32_t>(i)};
     if (!machine_.cluster_alive(c)) continue;  // isolate failed clusters
-    if (clusters_[i].live_load < best_load) {
-      best_load = clusters_[i].live_load;
+    const std::int64_t estimate = load_board_[i] + ln.load_delta[i];
+    if (estimate < best_load) {
+      best_load = estimate;
       best = i;
     }
   }
   if (best == ~std::size_t{0})
     throw support::Error("no alive clusters for task placement");
-  clusters_[best].live_load += 1;
+  ln.load_delta[best] += 1;
   return hw::ClusterId{static_cast<std::uint32_t>(best)};
 }
 
@@ -404,12 +608,16 @@ hw::ClusterId Os::first_alive_cluster() const {
 void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
   // Code distribution: an initiate to a cluster that has not loaded the
   // task type is preceded by a load-code message (FIFO channel order
-  // guarantees it arrives first).
+  // guarantees it arrives first).  Shipping decisions are tracked per
+  // lane so they need no cross-shard state; a cluster may receive the
+  // same code block from two lanes, which models independent kernels
+  // shipping without a global directory.
   if (options_.code_loading) {
     if (const auto* init = std::get_if<MsgInitiate>(&message)) {
-      auto& target = cluster_state(to);
-      if (!target.loaded_code.contains(init->task_type)) {
-        target.loaded_code.insert(init->task_type);
+      ShardLane& ln = lane();
+      auto key = std::make_pair(to.index, init->task_type);
+      if (!ln.shipped_code.contains(key)) {
+        ln.shipped_code.insert(std::move(key));
         const auto it = code_.find(init->task_type);
         MsgLoadCode lc;
         lc.task_type = init->task_type;
@@ -424,21 +632,27 @@ void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
   // receiver can reject calls from reaped incarnations.
   if (auto* call = std::get_if<MsgRemoteCall>(&message)) {
     if (call->caller != kNoTask) {
-      const auto it = tasks_.find(call->caller);
-      if (it != tasks_.end()) call->caller_epoch = it->second.incarnation;
+      const bool phase = machine_.engine().in_worker_phase();
+      {
+        OptSharedLock lock(registry_mutex_, phase);
+        const auto it = tasks_.find(call->caller);
+        if (it != tasks_.end()) call->caller_epoch = it->second.incarnation;
+      }
+      OptUniqueLock lock(registry_mutex_, phase);
       pending_calls_[call->token] = {call->caller, to, call->caller_epoch};
     }
   }
 
   const auto type_idx = static_cast<std::size_t>(message_type(message));
   const std::size_t bytes = message_bytes(message);
-  metrics_.messages_sent[type_idx] += 1;
-  metrics_.message_bytes_sent[type_idx] += bytes;
+  OsStats& stats = lane().stats;
+  stats.messages_sent[type_idx] += 1;
+  stats.message_bytes_sent[type_idx] += bytes;
 
   // Inter-cluster messages ride the reliable channel when enabled;
   // intra-cluster handoffs go through shared memory and cannot drop.
   if (options_.reliable_transport && from != to) {
-    auto& channel = send_channels_[ChannelKey{from.index, to.index}];
+    auto& channel = send_channels_.at(ChannelKey{from.index, to.index});
     const std::uint64_t seq = channel.next_seq++;
     auto [it, inserted] =
         channel.unacked.emplace(seq, UnackedFrame{message, 0});
@@ -458,7 +672,7 @@ void Os::transmit_frame(hw::ClusterId from, hw::ClusterId to,
 }
 
 void Os::send_ack(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
-  metrics_.acks_sent += 1;
+  lane().stats.acks_sent += 1;
   Frame frame{Frame::Kind::Ack, from.index, seq, Message{MsgLoadCode{}}};
   machine_.send_packet(from, to, kAckBytes, std::any(std::move(frame)));
 }
@@ -487,7 +701,7 @@ void Os::retransmit(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
         " unacknowledged after " + std::to_string(options_.max_retransmits) +
         " retransmits");
   }
-  metrics_.retransmissions += 1;
+  lane().stats.retransmissions += 1;
   transmit_frame(from, to, seq, unacked.message);
   arm_retransmit(from, to, seq, unacked.attempts);
 }
@@ -501,7 +715,7 @@ void Os::service(hw::ClusterId cluster) {
   if (!kernel.valid()) return;  // whole cluster failed: messages stall
   if (!machine_.try_acquire_pe(kernel)) return;
   state.dispatching = true;
-  metrics_.kernel_dispatches += 1;
+  lane().stats.kernel_dispatches += 1;
   machine_.occupy(kernel, machine_.config().kernel_dispatch,
                   [this, cluster, kernel] {
                     // Decode while the kernel PE is still held so a nested
@@ -530,13 +744,13 @@ void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
     }
 
     const hw::ClusterId src{frame->src};
-    auto& channel = recv_channels_[ChannelKey{frame->src, cluster.index}];
+    auto& channel = recv_channels_.at(ChannelKey{frame->src, cluster.index});
     // Ack everything that arrives, including duplicates (the first ack may
     // have been lost) and out-of-order frames (held, but received).
     send_ack(cluster, src, frame->seq);
     if (frame->seq < channel.next_expected ||
         channel.held.contains(frame->seq)) {
-      metrics_.duplicates_dropped += 1;
+      lane().stats.duplicates_dropped += 1;
       return;
     }
     if (frame->seq > channel.next_expected) {
@@ -562,7 +776,11 @@ void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
 
 void Os::deliver(hw::ClusterId cluster, hw::ClusterId from,
                  Message&& message) {
-  if (observer_) observer_->on_message(cluster, message);
+  if (observer_ != nullptr) {
+    notify_observer([cluster, m = message](OsObserver& o) {
+      o.on_message(cluster, m);
+    });
+  }
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -582,8 +800,9 @@ void Os::push_ready(hw::ClusterId cluster, ReadyItem item, bool front) {
   } else {
     state.ready.push_back(std::move(item));
   }
-  metrics_.ready_queue_peak =
-      std::max<std::uint64_t>(metrics_.ready_queue_peak, state.ready.size());
+  OsStats& stats = lane().stats;
+  stats.ready_queue_peak =
+      std::max<std::uint64_t>(stats.ready_queue_peak, state.ready.size());
   assign_workers(cluster);
 }
 
@@ -614,11 +833,17 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
     // under the same id) is stale: executing it would act on behalf of a
     // task incarnation that no longer exists.
     if (proc_work->call.caller != kNoTask) {
-      const auto cit = tasks_.find(proc_work->call.caller);
-      if (cit == tasks_.end() ||
-          (proc_work->call.caller_epoch != 0 &&
-           cit->second.incarnation != proc_work->call.caller_epoch)) {
-        metrics_.stale_messages_dropped += 1;
+      bool stale = false;
+      {
+        OptSharedLock lock(registry_mutex_,
+                           machine_.engine().in_worker_phase());
+        const auto cit = tasks_.find(proc_work->call.caller);
+        stale = cit == tasks_.end() ||
+                (proc_work->call.caller_epoch != 0 &&
+                 cit->second.incarnation != proc_work->call.caller_epoch);
+      }
+      if (stale) {
+        lane().stats.stale_messages_dropped += 1;
         machine_.release_worker(pe);
         return;
       }
@@ -629,14 +854,20 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
                      "remote call to unknown procedure: " +
                          proc_work->call.procedure);
       ProcedureContext ctx{*this, pe.cluster};
-      if (observer_) observer_->on_procedure_begin(proc_work->call, pe.cluster);
+      if (observer_ != nullptr) {
+        notify_observer([call = proc_work->call, c = pe.cluster](
+                            OsObserver& o) { o.on_procedure_begin(call, c); });
+      }
       proc_work->result = it->second.fn(ctx, proc_work->call.args);
-      if (observer_) observer_->on_procedure_end(proc_work->call, pe.cluster);
+      if (observer_ != nullptr) {
+        notify_observer([call = proc_work->call, c = pe.cluster](
+                            OsObserver& o) { o.on_procedure_end(call, c); });
+      }
       proc_work->cycles = std::max<hw::Cycles>(1, ctx.charged);
       proc_work->executed = true;
-      metrics_.procedures_executed += 1;
+      lane().stats.procedures_executed += 1;
     } else {
-      metrics_.steps_redone += 1;
+      lane().stats.steps_redone += 1;
     }
     const hw::Cycles duration =
         proc_work->cycles + config.message_sw_overhead;  // format the return
@@ -646,7 +877,7 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
     running_[pe_key(config, pe)] = std::move(item);
     machine_.occupy(pe, duration,
                     [this, pe, call, reply_to, result = std::move(result)] {
-                      running_.erase(pe_key(machine_.config(), pe));
+                      running_[pe_key(machine_.config(), pe)].reset();
                       MsgRemoteReturn ret;
                       ret.caller = call.caller;
                       ret.token = call.token;
@@ -658,14 +889,19 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
   }
 
   const TaskId task = std::get<TaskId>(item);
-  const auto tit = tasks_.find(task);
-  if (tit == tasks_.end()) {
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    const auto tit = tasks_.find(task);
+    if (tit != tasks_.end()) recp = &tit->second;
+  }
+  if (recp == nullptr) {
     // Reaped by cluster-loss recovery while queued.
-    metrics_.stale_messages_dropped += 1;
+    lane().stats.stale_messages_dropped += 1;
     machine_.release_worker(pe);
     return;
   }
-  auto& rec = tit->second;
+  auto& rec = *recp;
   FEM2_CHECK_MSG(rec.state == TaskState::Ready,
                  "starting work on a task that is not ready");
   rec.state = TaskState::Running;
@@ -674,24 +910,28 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
     rec.api->begin_step();
     Payload wake = std::move(rec.wake_value);
     rec.wake_value = Payload{};
-    if (observer_) observer_->on_step_begin(task);
+    if (observer_ != nullptr) {
+      notify_observer([task](OsObserver& o) { o.on_step_begin(task); });
+    }
     rec.step = rec.program->resume(std::move(wake));
-    if (observer_) observer_->on_step_end(task);
+    if (observer_ != nullptr) {
+      notify_observer([task](OsObserver& o) { o.on_step_end(task); });
+    }
     rec.step_sends = std::move(rec.api->outgoing_);
     rec.api->outgoing_.clear();
     rec.step.cycles = std::max<hw::Cycles>(
         1, rec.api->charged_ +
                rec.step_sends.size() * config.message_sw_overhead);
     rec.step_pending = true;
-    metrics_.steps_executed += 1;
+    lane().stats.steps_executed += 1;
   } else {
-    metrics_.steps_redone += 1;
+    lane().stats.steps_redone += 1;
   }
 
   running_[pe_key(config, pe)] = task;
   const std::uint64_t incarnation = rec.incarnation;
   machine_.occupy(pe, rec.step.cycles, [this, pe, task, incarnation] {
-    running_.erase(pe_key(machine_.config(), pe));
+    running_[pe_key(machine_.config(), pe)].reset();
     complete_task_step(pe, task, incarnation);
     machine_.release_worker(pe);
   });
@@ -699,13 +939,19 @@ void Os::start_work(hw::PeId pe, ReadyItem item) {
 
 void Os::complete_task_step(hw::PeId pe, TaskId task,
                             std::uint64_t incarnation) {
-  const auto it = tasks_.find(task);
-  if (it == tasks_.end() || it->second.incarnation != incarnation) {
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    const auto it = tasks_.find(task);
+    if (it != tasks_.end() && it->second.incarnation == incarnation)
+      recp = &it->second;
+  }
+  if (recp == nullptr) {
     // The task was reaped (and possibly re-initiated elsewhere) while this
     // step was charging cycles; its buffered effects die unapplied.
     return;
   }
-  auto& rec = it->second;
+  auto& rec = *recp;
   rec.step_pending = false;
 
   // Applying a send is the first moment the outside world can observe this
@@ -723,7 +969,11 @@ void Os::complete_task_step(hw::PeId pe, TaskId task,
 
   // Apply buffered sends.
   for (auto& [dst, msg] : rec.step_sends) {
-    if (observer_) observer_->on_task_send(rec.id, dst, msg);
+    if (observer_ != nullptr) {
+      notify_observer([id = rec.id, dst = dst, m = msg](OsObserver& o) {
+        o.on_task_send(id, dst, m);
+      });
+    }
     send(rec.cluster, dst, std::move(msg));
   }
   rec.step_sends.clear();
@@ -746,9 +996,11 @@ void Os::complete_task_step(hw::PeId pe, TaskId task,
 void Os::finish_task(TaskRecord& rec) {
   rec.state = TaskState::Finished;
   rec.result = rec.program->take_result();
-  metrics_.tasks_finished += 1;
-  cluster_state(rec.cluster).live_load -= 1;
-  if (observer_) observer_->on_task_finished(rec.id);
+  lane().stats.tasks_finished += 1;
+  lane().load_delta[rec.cluster.index] -= 1;
+  if (observer_ != nullptr) {
+    notify_observer([id = rec.id](OsObserver& o) { o.on_task_finished(id); });
+  }
 
   // Release the activation record and any task-owned heap blocks
   // ("data lifetime - lifetime of owner task").
@@ -771,7 +1023,11 @@ void Os::finish_task(TaskRecord& rec) {
     m.parent = rec.parent;
     m.result = rec.result;
     const hw::ClusterId dst = task_cluster(rec.parent);
-    if (observer_) observer_->on_task_send(rec.id, dst, Message{m});
+    if (observer_ != nullptr) {
+      notify_observer([id = rec.id, dst, m = Message{m}](OsObserver& o) {
+        o.on_task_send(id, dst, m);
+      });
+    }
     send(rec.cluster, dst, Message{std::move(m)});
   }
 }
@@ -840,22 +1096,29 @@ void Os::make_ready(TaskRecord& rec, Payload wake) {
 
 void Os::on_work_lost(hw::ClusterId cluster) {
   // Requeue every work item whose PE is no longer alive, at the front so
-  // recovery happens promptly.
-  std::vector<std::uint64_t> dead;
+  // recovery happens promptly.  Only this cluster's slots are scanned —
+  // the handler runs on the cluster's own shard (or stop-world), so other
+  // clusters' slots must not be touched.
   const auto& config = machine_.config();
-  for (const auto& [key, item] : running_) {
-    const hw::PeId pe{
-        hw::ClusterId{static_cast<std::uint32_t>(key / config.pes_per_cluster)},
-        static_cast<std::uint32_t>(key % config.pes_per_cluster)};
-    if (pe.cluster == cluster && !machine_.pe_alive(pe)) dead.push_back(key);
-  }
-  for (const auto key : dead) {
-    ReadyItem item = std::move(running_.at(key));
-    running_.erase(key);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(cluster.index) * config.pes_per_cluster;
+  for (std::uint32_t p = 0; p < config.pes_per_cluster; ++p) {
+    auto& slot = running_[base + p];
+    if (!slot.has_value()) continue;
+    const hw::PeId pe{cluster, p};
+    if (machine_.pe_alive(pe)) continue;
+    ReadyItem item = std::move(*slot);
+    slot.reset();
     if (const auto* task = std::get_if<TaskId>(&item)) {
-      const auto it = tasks_.find(*task);
-      if (it == tasks_.end()) continue;  // reaped mid-step: drop the redo
-      it->second.state = TaskState::Ready;
+      TaskRecord* recp = nullptr;
+      {
+        OptSharedLock lock(registry_mutex_,
+                           machine_.engine().in_worker_phase());
+        const auto it = tasks_.find(*task);
+        if (it != tasks_.end()) recp = &it->second;
+      }
+      if (recp == nullptr) continue;  // reaped mid-step: drop the redo
+      recp->state = TaskState::Ready;
     }
     push_ready(cluster, std::move(item), /*front=*/true);
   }
@@ -863,6 +1126,10 @@ void Os::on_work_lost(hw::ClusterId cluster) {
 
 // ---------------------------------------------------------------------------
 // Cluster-loss recovery
+//
+// Cluster loss always runs stop-world (fault events live on the global
+// shard), so these functions never race a parallel phase; the registry
+// locks they take through the shared helpers are disengaged no-ops.
 
 std::optional<TaskId> Os::message_addressee(const Message& m) {
   return std::visit(
@@ -906,9 +1173,14 @@ TaskId Os::restart_root(TaskId task) const {
 }
 
 void Os::reap_task(TaskId task) {
-  const auto it = tasks_.find(task);
-  if (it == tasks_.end()) return;
-  TaskRecord& rec = it->second;
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    const auto it = tasks_.find(task);
+    if (it != tasks_.end()) recp = &it->second;
+  }
+  if (recp == nullptr) return;
+  TaskRecord& rec = *recp;
   if (task_reaper_) task_reaper_(task);
 
   if (machine_.cluster_alive(rec.cluster)) {
@@ -922,31 +1194,34 @@ void Os::reap_task(TaskId task) {
       h.free(rec.ar_address);
     }
     auto& state = cluster_state(rec.cluster);
-    if (rec.state != TaskState::Finished && state.live_load > 0)
-      state.live_load -= 1;
+    if (rec.state != TaskState::Finished)
+      lane().load_delta[rec.cluster.index] -= 1;
     std::erase_if(state.ready, [&](const ReadyItem& item) {
       const auto* queued = std::get_if<TaskId>(&item);
       return queued != nullptr && *queued == task;
     });
   }
+  OptUniqueLock lock(registry_mutex_, machine_.engine().in_worker_phase());
   task_homes_.erase(task);
-  tasks_.erase(it);
+  tasks_.erase(task);
 }
 
 void Os::reinitiate_task(TaskId task) {
-  const auto it = tasks_.find(task);
-  FEM2_CHECK_MSG(it != tasks_.end(), "re-initiating an unknown task");
-  metrics_.tasks_relocated += 1;
-  const TaskRecord& rec = it->second;
-
+  lane().stats.tasks_relocated += 1;
   MsgInitiate m;
-  m.task_type = rec.type;
-  m.task = rec.id;
-  m.parent = rec.parent;
-  m.replication_index = rec.replication_index;
-  m.replication_count = rec.replication_count;
-  m.params = rec.saved_params;
-  const TaskId parent = rec.parent;
+  TaskId parent = kNoTask;
+  {
+    const auto it = tasks_.find(task);
+    FEM2_CHECK_MSG(it != tasks_.end(), "re-initiating an unknown task");
+    const TaskRecord& rec = it->second;
+    m.task_type = rec.type;
+    m.task = rec.id;
+    m.parent = rec.parent;
+    m.replication_index = rec.replication_index;
+    m.replication_count = rec.replication_count;
+    m.params = rec.saved_params;
+    parent = rec.parent;
+  }
 
   reap_task(task);
 
@@ -976,13 +1251,13 @@ void Os::flush_transport_to(hw::ClusterId cluster) {
         // The task never came to exist; re-route its initiate to a live
         // cluster (unless its parent was reaped meanwhile).
         if (init->parent != kNoTask && !tasks_.contains(init->parent)) {
-          metrics_.stale_messages_dropped += 1;
+          lane().stats.stale_messages_dropped += 1;
           task_homes_.erase(init->task);
           continue;
         }
         const hw::ClusterId target = choose_cluster(source);
         task_homes_[init->task] = target;
-        metrics_.tasks_relocated += 1;
+        lane().stats.tasks_relocated += 1;
         send(source, target, std::move(frame.message));
         continue;
       }
@@ -992,7 +1267,7 @@ void Os::flush_transport_to(hw::ClusterId cluster) {
       if (!addressee || home == task_homes_.end() ||
           !tasks_.contains(*addressee) ||
           !machine_.cluster_alive(home->second)) {
-        metrics_.stale_messages_dropped += 1;
+        lane().stats.stale_messages_dropped += 1;
         continue;
       }
       // Follow the addressee to its new home on a fresh channel sequence.
@@ -1015,14 +1290,14 @@ void Os::flush_transport_from(hw::ClusterId cluster) {
         if (init->parent != kNoTask && !tasks_.contains(init->parent)) {
           // Parent reaped (or itself mid-reinitiate): the restarted tree
           // re-creates its own children.
-          metrics_.stale_messages_dropped += 1;
+          lane().stats.stale_messages_dropped += 1;
           task_homes_.erase(init->task);
           continue;
         }
         const hw::ClusterId source = first_alive_cluster();
         const hw::ClusterId target = choose_cluster(source);
         task_homes_[init->task] = target;
-        metrics_.tasks_relocated += 1;
+        lane().stats.tasks_relocated += 1;
         send(source, target, std::move(frame.message));
         continue;
       }
@@ -1044,21 +1319,29 @@ void Os::flush_transport_from(hw::ClusterId cluster) {
       // pause/resume involves a task that lived on the dead cluster (already
       // a victim), and a lost remote return leaves its pending call intact,
       // making the caller a victim.
-      metrics_.stale_messages_dropped += 1;
+      lane().stats.stale_messages_dropped += 1;
     }
   }
 }
 
 void Os::on_cluster_lost(hw::ClusterId cluster) {
-  metrics_.clusters_lost += 1;
+  lane().stats.clusters_lost += 1;
 
   // The cluster's kernel state dies with the hardware: queued work, the
-  // dispatch latch, its code registry, and the heap's contents.
+  // dispatch latch, its code registry, and the heap's contents.  The load
+  // it carried vanishes from the placement board, as do every lane's
+  // pending deltas and code-shipping memory for it.
   auto& state = cluster_state(cluster);
   state.ready.clear();
   state.dispatching = false;
-  state.live_load = 0;
   state.loaded_code.clear();
+  load_board_[cluster.index] = 0;
+  for (auto& ln : lanes_) {
+    ln.load_delta[cluster.index] = 0;
+    std::erase_if(ln.shipped_code, [&](const auto& entry) {
+      return entry.first == cluster.index;
+    });
+  }
   heaps_[cluster.index] = Heap(machine_.memory_capacity(),
                                options_.heap_policy);
 
@@ -1145,9 +1428,9 @@ void Os::on_cluster_lost(hw::ClusterId cluster) {
         if (rec.parent == subtree[i]) subtree.push_back(id);
     }
     for (std::size_t i = subtree.size(); i > 1; --i) reap_task(subtree[i - 1]);
-    metrics_.orphans_reaped += subtree.size() - 1;
+    lane().stats.orphans_reaped += subtree.size() - 1;
     reinitiate_task(root);
-    metrics_.trees_restarted += 1;
+    lane().stats.trees_restarted += 1;
   }
 
   // Restartable leaves untouched by a tree restart relocate individually.
@@ -1176,21 +1459,38 @@ void Os::on_cluster_lost(hw::ClusterId cluster) {
 // Message handlers (run at kernel decode time)
 
 void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
-  if (m.parent != kNoTask && !tasks_.contains(m.parent)) {
-    // Orphan initiate: the parent's subtree was reaped by cluster-loss
-    // recovery while this message was in flight.  The restarted tree
-    // re-creates its own children, so this one must not run.  Undo the
-    // placement reservation made at send time.
-    metrics_.stale_messages_dropped += 1;
-    task_homes_.erase(m.task);
-    auto& state = cluster_state(cluster);
-    if (state.live_load > 0) state.live_load -= 1;
-    return;
+  const bool phase = machine_.engine().in_worker_phase();
+  if (m.parent != kNoTask) {
+    bool orphan = false;
+    {
+      OptSharedLock lock(registry_mutex_, phase);
+      orphan = !tasks_.contains(m.parent);
+    }
+    if (orphan) {
+      // Orphan initiate: the parent's subtree was reaped by cluster-loss
+      // recovery while this message was in flight.  The restarted tree
+      // re-creates its own children, so this one must not run.  Undo the
+      // placement reservation made at send time.
+      lane().stats.stale_messages_dropped += 1;
+      {
+        OptUniqueLock lock(registry_mutex_, phase);
+        task_homes_.erase(m.task);
+      }
+      lane().load_delta[cluster.index] -= 1;
+      return;
+    }
   }
-  if (tasks_.contains(m.task)) {
-    // Duplicate initiate (the task already exists here or was re-homed).
-    metrics_.stale_messages_dropped += 1;
-    return;
+  {
+    bool duplicate = false;
+    {
+      OptSharedLock lock(registry_mutex_, phase);
+      duplicate = tasks_.contains(m.task);
+    }
+    if (duplicate) {
+      // Duplicate initiate (the task already exists here or was re-homed).
+      lane().stats.stale_messages_dropped += 1;
+      return;
+    }
   }
   const auto it = code_.find(m.task_type);
   FEM2_CHECK_MSG(it != code_.end(),
@@ -1221,7 +1521,7 @@ void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
   rec.ar_bytes = ar_bytes;
 
   rec.saved_params = m.params;  // kept for re-initiation after cluster loss
-  rec.incarnation = next_incarnation_++;
+  rec.incarnation = make_incarnation();
   rec.api = std::make_unique<TaskApi>(*this, rec.id);
   rec.program = block.factory(*rec.api, std::move(m.params));
   FEM2_CHECK_MSG(rec.program != nullptr, "task factory returned null");
@@ -1229,20 +1529,31 @@ void Os::handle(hw::ClusterId cluster, MsgInitiate&& m) {
 
   const TaskId id = rec.id;
   const TaskId parent = rec.parent;
-  tasks_.emplace(id, std::move(rec));
-  metrics_.tasks_initiated += 1;
-  if (observer_) observer_->on_task_created(id, parent);
+  {
+    OptUniqueLock lock(registry_mutex_, phase);
+    tasks_.emplace(id, std::move(rec));
+  }
+  lane().stats.tasks_initiated += 1;
+  if (observer_ != nullptr) {
+    notify_observer(
+        [id, parent](OsObserver& o) { o.on_task_created(id, parent); });
+  }
   push_ready(cluster, id);
 }
 
 void Os::handle(hw::ClusterId cluster, MsgPauseNotify&& m) {
   (void)cluster;
-  const auto it = tasks_.find(m.parent);
-  if (it == tasks_.end()) {
-    metrics_.stale_messages_dropped += 1;
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    const auto it = tasks_.find(m.parent);
+    if (it != tasks_.end()) recp = &it->second;
+  }
+  if (recp == nullptr) {
+    lane().stats.stale_messages_dropped += 1;
     return;
   }
-  auto& parent = it->second;
+  auto& parent = *recp;
   parent.paused_children.push_back(m.child);
   parent.unconsumed_child_pauses += 1;
   if (parent.state == TaskState::Blocked &&
@@ -1255,12 +1566,17 @@ void Os::handle(hw::ClusterId cluster, MsgPauseNotify&& m) {
 
 void Os::handle(hw::ClusterId cluster, MsgResumeChild&& m) {
   (void)cluster;
-  const auto it = tasks_.find(m.child);
-  if (it == tasks_.end()) {
-    metrics_.stale_messages_dropped += 1;
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    const auto it = tasks_.find(m.child);
+    if (it != tasks_.end()) recp = &it->second;
+  }
+  if (recp == nullptr) {
+    lane().stats.stale_messages_dropped += 1;
     return;
   }
-  auto& child = it->second;
+  auto& child = *recp;
   // Delivering a datum is external state the child cannot silently replay.
   child.restartable = false;
   if (child.state == TaskState::Paused) {
@@ -1273,14 +1589,21 @@ void Os::handle(hw::ClusterId cluster, MsgResumeChild&& m) {
 
 void Os::handle(hw::ClusterId cluster, MsgTerminateNotify&& m) {
   (void)cluster;
-  if (const auto cit = tasks_.find(m.child); cit != tasks_.end())
-    cit->second.terminate_delivered = true;
-  const auto it = tasks_.find(m.parent);
-  if (it == tasks_.end()) {
-    metrics_.stale_messages_dropped += 1;
+  TaskRecord* childp = nullptr;
+  TaskRecord* parentp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, machine_.engine().in_worker_phase());
+    if (const auto cit = tasks_.find(m.child); cit != tasks_.end())
+      childp = &cit->second;
+    if (const auto it = tasks_.find(m.parent); it != tasks_.end())
+      parentp = &it->second;
+  }
+  if (childp != nullptr) childp->terminate_delivered = true;
+  if (parentp == nullptr) {
+    lane().stats.stale_messages_dropped += 1;
     return;
   }
-  auto& parent = it->second;
+  auto& parent = *parentp;
   parent.child_results.push_back(std::move(m.result));
   parent.unconsumed_child_terms += 1;
   if (parent.state == TaskState::Blocked &&
@@ -1300,13 +1623,22 @@ void Os::handle(hw::ClusterId cluster, MsgRemoteCall&& m, hw::ClusterId from) {
 
 void Os::handle(hw::ClusterId cluster, MsgRemoteReturn&& m) {
   (void)cluster;
-  pending_calls_.erase(m.token);
-  const auto it = tasks_.find(m.caller);
-  if (it == tasks_.end()) {
-    metrics_.stale_messages_dropped += 1;
+  const bool phase = machine_.engine().in_worker_phase();
+  {
+    OptUniqueLock lock(registry_mutex_, phase);
+    pending_calls_.erase(m.token);
+  }
+  TaskRecord* recp = nullptr;
+  {
+    OptSharedLock lock(registry_mutex_, phase);
+    const auto it = tasks_.find(m.caller);
+    if (it != tasks_.end()) recp = &it->second;
+  }
+  if (recp == nullptr) {
+    lane().stats.stale_messages_dropped += 1;
     return;
   }
-  auto& caller = it->second;
+  auto& caller = *recp;
   if (caller.state == TaskState::Blocked &&
       caller.wait.kind == TaskApi::WaitIntent::Kind::Reply &&
       caller.wait.token == m.token) {

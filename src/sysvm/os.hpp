@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -230,6 +231,10 @@ struct OsStats {
 
   std::uint64_t total_messages() const;
   std::uint64_t total_message_bytes() const;
+
+  /// Exhaustive, byte-stable dump of every counter; the determinism tests
+  /// diff this across host thread counts.
+  std::string dump() const;
 };
 
 /// Historical name, kept for call sites that predate the fault work.
@@ -283,13 +288,16 @@ class Os {
   std::size_t ready_depth(hw::ClusterId cluster) const;
 
   Heap& heap(hw::ClusterId cluster);
-  const OsStats& metrics() const { return metrics_; }
-  const OsStats& stats() const { return metrics_; }
+  /// Folds per-shard counters (deterministic shard order).  Host or
+  /// coordinator context only — never call from inside a parallel phase.
+  const OsStats& metrics() const;
+  const OsStats& stats() const { return metrics(); }
 
   // --- extension points for higher layers (navm) ---------------------------
   /// Reserve a call token (e.g. for synthetic wake-ups built on the
-  /// remote-return path).
-  CallToken allocate_call_token() { return next_call_token_++; }
+  /// remote-return path).  Tokens are striped per engine shard so parallel
+  /// and serial runs allocate identical values.
+  CallToken allocate_call_token();
   /// Inject a message into the machine as if sent from `from`.
   void post(hw::ClusterId from, hw::ClusterId to, Message message) {
     send(from, to, std::move(message));
@@ -306,11 +314,19 @@ class Os {
 
   /// A task exists and has not finished (stale-message guard; unlike
   /// task_state this never throws).
-  bool task_known(TaskId task) const { return tasks_.contains(task); }
+  bool task_known(TaskId task) const;
 
   /// Attach an observer (not owned; analysis tooling).  Pass nullptr to
   /// detach.  At most one observer at a time.
   void set_observer(OsObserver* observer) { observer_ = observer; }
+
+  /// Run `thunk` now in serial contexts, or buffer it (tagged with the
+  /// executing event's key) for replay in exact serial order at the next
+  /// window barrier when called from a parallel phase.  Observer callbacks
+  /// from every layer funnel through this single sequencer so their
+  /// relative order is preserved; thunks must capture their arguments by
+  /// value.
+  void sequenced(std::function<void()> thunk);
 
   // --- wait-state introspection (deadlock analysis) -------------------------
   /// Why a task is not running, exposed without touching TaskApi internals.
@@ -402,7 +418,27 @@ class Os {
     std::deque<ReadyItem> ready;
     bool dispatching = false;
     std::set<std::string> loaded_code;
-    std::size_t live_load = 0;  ///< tasks not yet finished (placement)
+  };
+
+  /// Per-engine-shard state: everything a cluster event may touch without
+  /// synchronization.  Lane index == engine shard index (one lane per
+  /// cluster, plus the global/host lane).  Id counters are striped
+  /// (id = n * lanes + lane + 1) so serial and parallel runs allocate
+  /// identical ids; stats fold deterministically in lane order.
+  struct ShardLane {
+    std::uint64_t next_task_id = 0;
+    std::uint64_t next_call_token = 0;
+    std::uint64_t next_incarnation = 0;
+    std::size_t round_robin = 0;
+    OsStats stats;
+    /// Signed placement-load adjustments this lane has made since the last
+    /// load-board refresh, indexed by cluster.
+    std::vector<std::int64_t> load_delta;
+    /// (cluster, task type) pairs this lane has shipped code for.
+    std::set<std::pair<std::uint32_t, std::string>> shipped_code;
+    /// Observer thunks buffered during a parallel phase, tagged with the
+    /// emitting event's key for deterministic replay.
+    std::vector<std::pair<hw::EventKey, std::function<void()>>> observations;
   };
 
   // --- reliable transport ----------------------------------------------------
@@ -444,9 +480,18 @@ class Os {
   // --- plumbing -------------------------------------------------------------
   using Packet_t = hw::Packet;
 
-  TaskId next_task_id_ = 1;
-  CallToken next_call_token_ = 1;
-  std::uint64_t next_incarnation_ = 1;
+  ShardLane& lane();
+  const ShardLane& lane() const;
+  TaskId make_task_id();
+  std::uint64_t make_incarnation();
+  /// Barrier hook: replays buffered observer thunks in event-key order.
+  void replay_observations();
+  /// Refresh hook (window boundaries): folds every lane's load deltas into
+  /// the authoritative load board.
+  void refresh_load_board();
+  /// Wrap an observer callback through the sequencer (no-op when no
+  /// observer is attached).  `fill` must capture by value.
+  void notify_observer(std::function<void(OsObserver&)> fill);
 
   hw::ClusterId choose_cluster(hw::ClusterId source);
   hw::ClusterId first_alive_cluster() const;
@@ -504,15 +549,24 @@ class Os {
   OsOptions options_;
   std::map<std::string, CodeBlock, std::less<>> code_;
   std::map<std::string, Procedure, std::less<>> procedures_;
+  /// Guards the *structure* of tasks_ / task_homes_ / pending_calls_
+  /// (insert, erase, find).  Record fields themselves are shard-partitioned
+  /// by home cluster (std::map nodes are address-stable), so no lock is
+  /// held while a record is read or written.
+  mutable std::shared_mutex registry_mutex_;
   std::map<TaskId, TaskRecord> tasks_;
   /// Placement decided at id-assignment time, so messages addressed to a
   /// task (e.g. resume-child) can be routed before its initiate decodes.
   std::map<TaskId, hw::ClusterId> task_homes_;
   std::vector<ClusterState> clusters_;
   std::vector<Heap> heaps_;
-  std::map<std::uint64_t, ReadyItem> running_;  ///< flat PE index -> work
-  std::size_t round_robin_ = 0;
-  OsStats metrics_;
+  std::vector<std::optional<ReadyItem>> running_;  ///< indexed by flat PE
+  std::vector<ShardLane> lanes_;  ///< one per engine shard
+  /// Authoritative placement loads, refreshed only at window boundaries
+  /// (identically in serial and parallel mode, so placement is
+  /// thread-count invariant).
+  std::vector<std::int64_t> load_board_;
+  mutable OsStats metrics_;  ///< fold-on-read cache of the lane stats
 
   std::map<ChannelKey, SendChannel> send_channels_;
   std::map<ChannelKey, RecvChannel> recv_channels_;

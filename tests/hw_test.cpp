@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include "analyze/analyzer.hpp"
+#include "fem/mesh.hpp"
+#include "fem/solver.hpp"
 #include "hw/event.hpp"
+#include "hw/fault.hpp"
 #include "hw/machine.hpp"
 #include "hw/trace.hpp"
+#include "navm/parops.hpp"
+#include "navm/runtime.hpp"
+#include "sysvm/os.hpp"
 
 namespace fem2::hw {
 namespace {
@@ -323,6 +330,87 @@ TEST(Machine, QueuePeakTracked) {
   EXPECT_EQ(machine.metrics().clusters[1].queue_peak, 5u);
   EXPECT_EQ(machine.metrics().clusters[0].packets_out, 5u);
   EXPECT_EQ(machine.metrics().clusters[1].packets_in, 5u);
+}
+
+// The multi-threaded host backend must be invisible in the simulation:
+// the same workload, seed and fault plan at 1, 2 and 8 host threads has to
+// produce byte-identical machine metrics and OS stats dumps, bit-identical
+// displacements, and the same analyzer findings.  The workload is the full
+// stack — distributed CG solve with the analyzer attached, losing a PE at
+// 25% and a whole cluster at 50% of the fault-free run, on a lossy
+// network with reliable transport.
+TEST(Determinism, ThreadCountInvariantUnderFaultPlan) {
+  struct Outcome {
+    Cycles elapsed = 0;
+    std::string machine_dump;
+    std::string os_dump;
+    std::vector<double> displacements;
+    std::vector<std::string> findings;
+  };
+
+  MachineConfig config;
+  config.clusters = 4;
+  config.pes_per_cluster = 4;
+
+  fem::PlateMeshOptions mesh;
+  mesh.nx = 16;
+  mesh.ny = 8;
+  mesh.width = 2.0;
+  mesh.height = 1.0;
+  const auto model = fem::make_cantilever_plate(mesh, 1'000.0);
+
+  const auto run = [&](unsigned threads, Cycles kill_pe_at,
+                       Cycles kill_cluster_at) {
+    Machine machine(config);
+    machine.engine().set_threads(threads);
+    sysvm::OsOptions options;
+    options.reliable_transport = true;
+    sysvm::Os os(machine, options);
+    navm::Runtime runtime(os);
+    navm::register_parallel_ops(runtime);
+    analyze::Analyzer analyzer(runtime);
+
+    FaultPlan plan;
+    if (kill_cluster_at != 0) {
+      plan.set_drop_probability(kill_pe_at / 2, 0.005);
+      plan.fail_pe(kill_pe_at, ClusterId{1}, 2);
+      plan.fail_cluster(kill_cluster_at, ClusterId{2});
+    }
+    FaultInjector injector(machine, plan);
+    injector.arm();
+
+    const auto solution = fem::solve_static_parallel(
+        model, "tip-shear", runtime, {.workers = 8, .tolerance = 1e-8});
+    analyzer.check_now();
+
+    Outcome outcome;
+    outcome.elapsed = machine.now();
+    outcome.machine_dump = machine.metrics().dump();
+    outcome.os_dump = os.metrics().dump();
+    outcome.displacements = solution.displacements.values;
+    for (const auto& finding : analyzer.findings())
+      outcome.findings.push_back(finding.rule + "|" + finding.entity + "|" +
+                                 finding.message);
+    return outcome;
+  };
+
+  // Fault-free probe fixes the kill times relative to the run length.
+  const auto probe = run(1, 0, 0);
+  ASSERT_GT(probe.elapsed, 0u);
+  const Cycles kill_pe_at = probe.elapsed / 4;
+  const Cycles kill_cluster_at = probe.elapsed / 2;
+
+  const auto base = run(1, kill_pe_at, kill_cluster_at);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto other = run(threads, kill_pe_at, kill_cluster_at);
+    EXPECT_EQ(other.elapsed, base.elapsed) << "threads=" << threads;
+    EXPECT_EQ(other.machine_dump, base.machine_dump)
+        << "threads=" << threads;
+    EXPECT_EQ(other.os_dump, base.os_dump) << "threads=" << threads;
+    EXPECT_EQ(other.displacements, base.displacements)
+        << "threads=" << threads;
+    EXPECT_EQ(other.findings, base.findings) << "threads=" << threads;
+  }
 }
 
 }  // namespace

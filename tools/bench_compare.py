@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare BENCH_E*.json reports against a committed baseline.
+
+Usage:
+    bench_compare.py --baseline tools/bench_baseline.json [--update] DIR
+
+DIR holds the BENCH_*.json files emitted by the `--smoke` bench runs
+(`ctest -L bench`).  The baseline file maps experiment id -> report with
+the same {experiment, rows, host_wall_ms} schema.
+
+Policy, matching the determinism story of the simulator:
+  * simulated metrics (unit "cycles", "msgs", "bytes", "iters", "steps",
+    "nodes") are deterministic — any regression > --threshold (default
+    25%) against the baseline FAILS the run; improvements are reported.
+  * host-side metrics ("ms", "commits/s") are hardware-dependent — they
+    only WARN, never fail.
+  * metrics missing from the baseline (new benches / new rows) are
+    reported and pass; run with --update to rewrite the baseline.
+
+Exit code 0 = ok (possibly with warnings), 1 = at least one failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SIMULATED_UNITS = {"cycles", "msgs", "bytes", "iters", "steps", "nodes"}
+HOST_UNITS = {"ms", "commits/s"}
+
+
+def load_reports(directory: Path) -> dict[str, dict]:
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"FAIL  {path.name}: unparsable JSON ({err})")
+            reports[path.stem] = None
+            continue
+        reports[report.get("experiment", path.stem)] = report
+    return reports
+
+
+def rows_by_metric(report: dict) -> dict[str, dict]:
+    return {row["metric"]: row for row in report.get("rows", [])}
+
+
+def compare(reports: dict[str, dict], baseline: dict[str, dict],
+            threshold: float) -> tuple[int, int]:
+    failures = warnings = 0
+    for experiment, report in sorted(reports.items()):
+        if report is None:
+            failures += 1
+            continue
+        base = baseline.get(experiment)
+        if base is None:
+            print(f"note  {experiment}: no baseline entry (new experiment)")
+            continue
+        base_rows = rows_by_metric(base)
+        for metric, row in rows_by_metric(report).items():
+            base_row = base_rows.get(metric)
+            if base_row is None:
+                print(f"note  {experiment}/{metric}: not in baseline")
+                continue
+            old, new = base_row["value"], row["value"]
+            if old == 0:
+                continue
+            ratio = new / old
+            unit = row.get("unit", "")
+            simulated = unit in SIMULATED_UNITS
+            if ratio > 1.0 + threshold:
+                kind = "FAIL " if simulated else "warn "
+                print(f"{kind} {experiment}/{metric}: {old:g} -> {new:g} "
+                      f"{unit} (+{100 * (ratio - 1):.1f}%)")
+                if simulated:
+                    failures += 1
+                else:
+                    warnings += 1
+            elif ratio < 1.0 - threshold:
+                print(f"note  {experiment}/{metric}: {old:g} -> {new:g} "
+                      f"{unit} ({100 * (ratio - 1):.1f}%, improvement)")
+    return failures, warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", type=Path,
+                        help="directory holding BENCH_*.json reports")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("tools/bench_baseline.json"))
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression tolerance (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the given reports")
+    args = parser.parse_args()
+
+    reports = load_reports(args.directory)
+    if not reports:
+        print(f"FAIL  no BENCH_*.json files found in {args.directory}")
+        return 1
+
+    if args.update:
+        good = {k: v for k, v in reports.items() if v is not None}
+        args.baseline.write_text(json.dumps(good, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(good)} experiments)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"FAIL  baseline {args.baseline} missing "
+              f"(generate with --update)")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+
+    failures, warnings = compare(reports, baseline, args.threshold)
+    print(f"\n{len(reports)} reports, {failures} failures, "
+          f"{warnings} warnings (threshold {args.threshold:.0%})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
