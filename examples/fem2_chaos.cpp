@@ -1,0 +1,359 @@
+// fem2_chaos: a combined-chaos soak driver.  Each round runs the full
+// stack twice over:
+//
+//   * compute layer — a parallel FEM solve on the simulated machine with
+//     an armed hw::FaultPlan (lossy network under reliable transport);
+//     the answer must still match the serial reference bit-for-bit in
+//     physics terms (relative tolerance of the parallel solver), and
+//
+//   * storage layer — the solve's results are committed to a fem2-db
+//     engine mounted on a FaultVfs with a seeded IoFaultPlan (failed
+//     fsyncs, failed writes, or lying fsyncs), then the process "loses
+//     power" (crash_to_durable) and a fresh engine recovers.
+//
+// The invariant checked after EVERY round: the recovered store holds
+// exactly the acknowledged commits (for honest-failure flavors), or a
+// clean prefix of them (for lying-fsync flavors, where an acked commit
+// may vanish whole — but never tear, and never resurrect an unacked
+// one).  Degraded mode must be sticky until recover(), and recover()
+// must restore a writable engine over the committed state.
+//
+// usage: fem2_chaos [--rounds=N] [--seed=S] [--smoke]
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/engine.hpp"
+#include "db/iofault.hpp"
+#include "fem/mesh.hpp"
+#include "fem/passembly.hpp"
+#include "fem/solver.hpp"
+#include "hw/fault.hpp"
+#include "navm/parops.hpp"
+#include "navm/runtime.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "sysvm/os.hpp"
+
+namespace {
+
+using namespace fem2;
+
+enum class Flavor { FsyncFail, WriteFail, LyingFsync };
+
+const char* flavor_name(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::FsyncFail:
+      return "fsync-fail";
+    case Flavor::WriteFail:
+      return "write-fail";
+    case Flavor::LyingFsync:
+      return "lying-fsync";
+  }
+  return "?";
+}
+
+struct AckedObject {
+  std::string value;
+  std::uint64_t revision = 0;
+  bool operator==(const AckedObject&) const = default;
+};
+
+// Every acknowledged (name, revision, value) triple, so lying-fsync
+// rounds can check the recovered store is a clean prefix.
+struct AckedLog {
+  std::map<std::string, AckedObject> live;
+  std::map<std::string, std::vector<AckedObject>> per_name;
+
+  void record(const std::string& name, std::string value,
+              std::uint64_t revision) {
+    live[name] = {value, revision};
+    per_name[name].push_back({std::move(value), revision});
+  }
+};
+
+struct SolveOutcome {
+  double tip = 0.0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+struct FlavorTotals {
+  std::uint64_t rounds = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t io_faults = 0;
+  std::uint64_t degraded_rounds = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t hw_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t failures = 0;
+};
+
+hw::MachineConfig machine_config() {
+  hw::MachineConfig config;
+  config.clusters = 4;
+  config.pes_per_cluster = 4;
+  config.memory_per_cluster = 64u << 20;
+  return config;
+}
+
+/// One parallel solve on a machine whose network the fault plan makes
+/// lossy mid-run.  Reliable transport has to absorb the chaos.
+SolveOutcome chaos_solve(const fem::StructureModel& model, double drop_p) {
+  hw::Machine machine(machine_config());
+  sysvm::OsOptions os_options;
+  os_options.reliable_transport = true;
+  sysvm::Os os(machine, os_options);
+  navm::Runtime runtime(os);
+  navm::register_parallel_ops(runtime);
+  fem::register_assembly_tasks(runtime);
+  fem::register_stress_tasks(runtime);
+
+  hw::FaultPlan plan;
+  plan.set_drop_probability(1, drop_p);
+  hw::FaultInjector injector(machine, std::move(plan));
+  injector.arm();
+
+  const auto solution = fem::solve_static_parallel(
+      model, "tip-shear", runtime, {.workers = 8, .tolerance = 1e-11});
+  SolveOutcome out;
+  out.tip = solution.displacements.values.back();
+  out.dropped = machine.metrics().network.dropped_messages;
+  out.retransmissions = os.stats().retransmissions;
+  return out;
+}
+
+db::IoFaultPlan make_plan(Flavor flavor, support::Rng& rng) {
+  db::IoFaultPlan plan;
+  switch (flavor) {
+    case Flavor::FsyncFail:
+      return db::IoFaultPlan::random_fsync_failures(3, 24, rng.next());
+    case Flavor::WriteFail:
+      for (int i = 0; i < 3; ++i)
+        plan.fail(db::IoOp::Write, rng.next_below(60), EIO);
+      return plan;
+    case Flavor::LyingFsync:
+      for (int i = 0; i < 2; ++i) plan.lying_fsync(rng.next_below(24));
+      return plan;
+  }
+  return plan;
+}
+
+std::map<std::string, AckedObject> live_state(const db::Engine& engine) {
+  std::map<std::string, AckedObject> out;
+  for (const auto& entry : engine.list()) {
+    const auto view = engine.get(entry.name);
+    if (view) out[entry.name] = {view->value, view->revision};
+  }
+  return out;
+}
+
+bool check(bool condition, const std::string& what, std::uint64_t round) {
+  if (!condition)
+    std::cerr << "FAIL round " << round << ": " << what << "\n";
+  return condition;
+}
+
+/// One storage-chaos round: commit solve results through a FaultVfs,
+/// crash to the durable image, recover, and verify the invariant.
+bool chaos_commit_round(const std::filesystem::path& root, Flavor flavor,
+                        std::uint64_t round, std::uint64_t seed,
+                        double solved_tip, FlavorTotals& totals) {
+  const auto dir = root / ("round_" + std::to_string(round));
+  std::filesystem::create_directories(dir);
+  support::Rng rng(seed);
+  auto vfs = std::make_shared<db::FaultVfs>(make_plan(flavor, rng));
+
+  db::EngineOptions options;
+  options.directory = dir.string();
+  // Honest-failure flavors keep the checkpointer in the blast radius; a
+  // lying fsync under a snapshot publish is a torn-snapshot scenario the
+  // engine does not claim to survive, so those rounds stay WAL-only.
+  options.compact_after_bytes = flavor == Flavor::LyingFsync ? 0 : 2048;
+  options.vfs = vfs;
+
+  AckedLog acked;
+  bool ok = true;
+  {
+    db::Engine engine(options);
+    for (int i = 0; i < 20; ++i) {
+      const std::string name = "probe-" + std::to_string(i % 5);
+      const std::string value = "tip=" + std::to_string(solved_tip) +
+                                " step=" + std::to_string(i) + " pad=" +
+                                std::string(96 + rng.next_below(64), 'x');
+      try {
+        const auto revision = engine.put(name, "results", value);
+        acked.record(name, value, revision);
+        totals.acked += 1;
+      } catch (const db::Error&) {
+        // Not acknowledged: this commit must leave no durable trace.
+      }
+    }
+    if (engine.degraded()) {
+      totals.degraded_rounds += 1;
+      // Sticky until recover(), reads served throughout.
+      vfs->set_plan({});
+      bool sticky = false;
+      try {
+        engine.put("probe-0", "results", "refused");
+      } catch (const db::DegradedError&) {
+        sticky = true;
+      }
+      ok = check(sticky, "degraded mode was not sticky", round) && ok;
+      ok = check(live_state(engine) == acked.live,
+                 "degraded reads diverged from acked state", round) &&
+           ok;
+      engine.recover();
+      totals.recoveries += 1;
+      ok = check(!engine.degraded(), "recover() left the engine degraded",
+                 round) &&
+           ok;
+      ok = check(live_state(engine) == acked.live,
+                 "recover() lost or invented commits", round) &&
+           ok;
+      const auto revision = engine.put("post-recover", "results", "alive");
+      acked.record("post-recover", "alive", revision);
+      totals.acked += 1;
+    }
+  }
+  totals.io_faults += vfs->faults_fired();
+
+  // Power loss: only the durable image survives.
+  vfs->crash_to_durable();
+  db::EngineOptions reopened_options;
+  reopened_options.directory = dir.string();
+  db::Engine reopened(reopened_options);
+  const auto recovered = live_state(reopened);
+
+  if (flavor == Flavor::LyingFsync) {
+    // Weaker (and honest) guarantee: a lied-about commit may vanish
+    // whole, but the store is a clean prefix — every recovered object is
+    // an acked (revision, value) pair and nothing unacked appears.
+    for (const auto& [name, object] : recovered) {
+      const auto it = acked.per_name.find(name);
+      if (!check(it != acked.per_name.end(),
+                 "recovered unacked object '" + name + "'", round))
+        return false;
+      bool matched = false;
+      for (const auto& entry : it->second)
+        matched = matched || (entry.revision == object.revision &&
+                              entry.value == object.value);
+      ok = check(matched,
+                 "recovered '" + name + "' rev " +
+                     std::to_string(object.revision) +
+                     " is not an acked version",
+                 round) &&
+           ok;
+      ok = check(object.revision <= acked.live[name].revision,
+                 "recovered '" + name + "' is newer than the last ack",
+                 round) &&
+           ok;
+    }
+  } else {
+    // Honest failures: recovery yields exactly the acked commits.
+    ok = check(recovered == acked.live,
+               "recovered store != acknowledged commits", round) &&
+         ok;
+  }
+  std::filesystem::remove_all(dir);
+  return ok;
+}
+
+std::uint64_t arg_value(const std::string& arg, std::uint64_t fallback) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) return fallback;
+  return std::strtoull(arg.c_str() + eq + 1, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t rounds = 12;
+  std::uint64_t seed = 7;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with("--rounds=")) {
+      rounds = arg_value(arg, rounds);
+    } else if (arg.starts_with("--seed=")) {
+      seed = arg_value(arg, seed);
+    } else if (arg == "--smoke") {
+      smoke = true;
+      rounds = 3;
+    } else {
+      std::cerr << "usage: fem2_chaos [--rounds=N] [--seed=S] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "fem2_chaos_XXXXXX").string();
+  if (!::mkdtemp(tmpl.data())) {
+    std::cerr << "cannot create working directory\n";
+    return 1;
+  }
+  const std::filesystem::path root = tmpl;
+
+  // Serial reference for the physics invariant.
+  const auto model = smoke ? fem::make_cantilever_plate({.nx = 6, .ny = 2}, 40.0)
+                           : fem::make_cantilever_plate({.nx = 10, .ny = 4}, 90.0);
+  const auto reference = fem::solve_static(
+      model, "tip-shear", {.kind = fem::SolverKind::SkylineDirect});
+  const double want = reference.displacements.values.back();
+
+  std::cout << "fem2_chaos: " << rounds
+            << " rounds of combined machine + storage fault injection\n";
+
+  std::map<Flavor, FlavorTotals> totals;
+  bool ok = true;
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    const Flavor flavor = static_cast<Flavor>(round % 3);
+    auto& t = totals[flavor];
+    t.rounds += 1;
+
+    // Compute-layer chaos: the solve must still be right.
+    const double drop_p = 0.10 + 0.05 * static_cast<double>(round % 4);
+    const auto solved = chaos_solve(model, drop_p);
+    t.hw_dropped += solved.dropped;
+    t.retransmissions += solved.retransmissions;
+    const double tolerance = std::abs(want) * 1e-5 + 1e-12;
+    if (!check(std::abs(solved.tip - want) <= tolerance,
+               "chaos solve diverged from the serial reference", round)) {
+      t.failures += 1;
+      ok = false;
+    }
+
+    // Storage-layer chaos: commit, crash, recover, verify.
+    if (!chaos_commit_round(root, flavor, round, seed * 1000003 + round,
+                            solved.tip, t)) {
+      t.failures += 1;
+      ok = false;
+    }
+  }
+
+  support::Table table("combined chaos soak");
+  table.set_header({"flavor", "rounds", "acked", "io faults", "degraded",
+                    "recoveries", "hw dropped", "retransmits", "failures"});
+  for (const auto& [flavor, t] : totals) {
+    table.row()
+        .cell(flavor_name(flavor))
+        .cell(t.rounds)
+        .cell(t.acked)
+        .cell(t.io_faults)
+        .cell(t.degraded_rounds)
+        .cell(t.recoveries)
+        .cell(t.hw_dropped)
+        .cell(t.retransmissions)
+        .cell(t.failures);
+  }
+  table.print(std::cout);
+
+  std::filesystem::remove_all(root);
+  std::cout << (ok ? "fem2_chaos: ok\n" : "fem2_chaos: FAILED\n");
+  return ok ? 0 : 1;
+}

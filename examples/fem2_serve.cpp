@@ -51,6 +51,14 @@ void worker(Database& db, unsigned index, std::size_t ops,
             std::uint64_t seed, WorkerResult& out,
             std::vector<std::atomic<std::uint64_t>>& stores_per_name) {
   Session session(db, "worker-" + std::to_string(index));
+  // Conflict/transient-I/O retries are the session's job now: a bounded
+  // policy with per-worker jitter seed de-synchronizes the racers.
+  fem2::db::RetryPolicy policy;
+  policy.max_attempts = 64;
+  policy.initial_backoff = std::chrono::microseconds(50);
+  policy.max_backoff = std::chrono::microseconds(2000);
+  policy.seed = seed * 7919 + index;
+  session.set_retry_policy(policy);
   fem2::support::Rng rng(seed);
   // A small private model to store; bays vary so payloads differ.
   session.execute("mesh truss bays=" + std::to_string(2 + index % 4) +
@@ -62,21 +70,16 @@ void worker(Database& db, unsigned index, std::size_t ops,
     const double dice = rng.uniform();
 
     if (dice < 0.60) {
-      // Optimistic store: read the revision, CAS, retry on conflict.
-      bool stored = false;
-      for (int attempt = 0; attempt < 1000 && !stored; ++attempt) {
-        const auto rev = db.revision(name);
-        const auto r = session.execute("store " + name +
-                                       " if-rev=" + std::to_string(rev));
-        if (r.ok) {
-          out.stores += 1;
-          stores_per_name[pick] += 1;
-          stored = true;
-        } else {
-          out.conflicts += 1;
-        }
+      // Optimistic store: `if-rev=head` re-reads the revision on every
+      // attempt, so the session-level retry IS the CAS loop.
+      const auto r = session.execute_with_retry("store " + name +
+                                                " if-rev=head");
+      if (r.ok) {
+        out.stores += 1;
+        stores_per_name[pick] += 1;
+      } else {
+        out.errors += 1;
       }
-      if (!stored) out.errors += 1;
     } else if (dice < 0.75) {
       // Transactional batch: two stores, one atomic commit point.
       const std::size_t other = rng.next_below(kNames.size());
@@ -140,11 +143,13 @@ RunReport run_sessions(Database& db, std::size_t sessions, std::size_t ops,
       std::chrono::duration<double, std::milli>(stop - start).count();
   for (const auto& r : results) {
     report.totals.stores += r.stores;
-    report.totals.conflicts += r.conflicts;
     report.totals.retrieves += r.retrieves;
     report.totals.txns += r.txns;
     report.totals.errors += r.errors;
   }
+  // Conflicts are resolved inside the sessions' retry loops now; the
+  // engine still counts every rejection it handed out.
+  report.totals.conflicts = db.engine().stats().conflicts;
   // No lost writes, no phantom writes: every successful store bumped its
   // name's revision by exactly one.
   for (std::size_t i = 0; i < kNames.size(); ++i) {

@@ -114,11 +114,37 @@ Response Session::execute(const std::string& line) {
   if (trimmed.empty() || trimmed.starts_with('#')) return {true, ""};
   const auto tokens = support::split_ws(trimmed);
   try {
-    return dispatch(tokens);
+    Response response = dispatch(tokens);
+    // A failure built inline (usage errors and the like) defaults its
+    // kind; normalize so FailureKind::None always means success.
+    if (!response.ok && response.kind == Response::FailureKind::None)
+      response.kind = Response::FailureKind::Other;
+    return response;
+  } catch (const db::ConflictError& e) {
+    return {false, e.what(), Response::FailureKind::Conflict};
+  } catch (const db::DegradedError& e) {
+    return {false, e.what(), Response::FailureKind::Degraded};
+  } catch (const db::IoError& e) {
+    return {false, e.what(),
+            e.transient() ? Response::FailureKind::TransientIo
+                          : Response::FailureKind::Other};
   } catch (const support::Error& e) {
-    return {false, e.what()};
+    return {false, e.what(), Response::FailureKind::Other};
   } catch (const support::CheckError& e) {
-    return {false, e.what()};
+    return {false, e.what(), Response::FailureKind::Other};
+  }
+}
+
+Response Session::execute_with_retry(const std::string& line) {
+  db::RetrySchedule schedule(retry_policy_);
+  for (;;) {
+    Response response = execute(line);
+    if (response.ok || (response.kind != Response::FailureKind::Conflict &&
+                        response.kind != Response::FailureKind::TransientIo))
+      return response;
+    const auto delay = schedule.next_delay();
+    if (!delay) return response;
+    if (delay->count() > 0) sleeper_(*delay);
   }
 }
 
@@ -393,7 +419,10 @@ Response Session::cmd_store(const std::vector<std::string>& tokens) {
   std::uint64_t expected = Database::kAnyRevision;
   for (std::size_t i = name_at + 1; i < tokens.size(); ++i) {
     if (!tokens[i].starts_with("if-rev=")) return {false, kUsage};
-    expected = to_index(tokens[i].substr(7));
+    const std::string value = tokens[i].substr(7);
+    // `head` resolves the revision now, at dispatch — so a retry of this
+    // command compares against whatever the racing writer left behind.
+    expected = value == "head" ? database_.revision(name) : to_index(value);
   }
 
   if (txn_) {
@@ -456,7 +485,8 @@ Response Session::cmd_remove(const std::vector<std::string>& tokens) {
   std::uint64_t expected = Database::kAnyRevision;
   if (tokens.size() == 3) {
     if (!tokens[2].starts_with("if-rev=")) return {false, kUsage};
-    expected = to_index(tokens[2].substr(7));
+    const std::string value = tokens[2].substr(7);
+    expected = value == "head" ? database_.revision(name) : to_index(value);
   }
   if (txn_) {
     database_.remove(*txn_, name, expected);
@@ -487,10 +517,11 @@ Response Session::cmd_commit(const std::vector<std::string>& tokens) {
     return {true, "committed txn " + std::to_string(txn) + " (" +
                       std::to_string(writes) + " writes)"};
   } catch (const db::ConflictError& e) {
-    return {false, std::string(e.what()) +
-                       " — transaction dropped; retrieve and retry with "
-                       "if-rev=" +
-                       std::to_string(e.actual())};
+    return {false,
+            std::string(e.what()) +
+                " — transaction dropped; retrieve and retry with if-rev=" +
+                std::to_string(e.actual()),
+            Response::FailureKind::Conflict};
   }
 }
 
@@ -561,7 +592,9 @@ std::string Session::help_text() {
       "  store <name> [if-rev=N]              save model to the shared database\n"
       "  store results <name> [if-rev=N]      save results; if-rev=N commits\n"
       "                                       only if the entry is at rev N\n"
-      "                                       (optimistic concurrency)\n"
+      "                                       (optimistic concurrency);\n"
+      "                                       if-rev=head re-reads the current\n"
+      "                                       revision on each attempt\n"
       "  retrieve <name> [rev=N]              load a model from the database\n"
       "                                       (rev=N reads an old version)\n"
       "  list / remove <name> [if-rev=N]      database operations\n"

@@ -10,12 +10,19 @@
 
 #include "appvm/database.hpp"
 #include "appvm/workspace.hpp"
+#include "db/retry.hpp"
 
 namespace fem2::appvm {
 
 struct Response {
+  /// Why a command failed, for retry classification: conflicts and
+  /// transient I/O are worth re-running; degraded means the store needs
+  /// recovery first; everything else is the user's problem.
+  enum class FailureKind { None, Conflict, TransientIo, Degraded, Other };
+
   bool ok = true;
   std::string text;
+  FailureKind kind = FailureKind::None;
 };
 
 class Session {
@@ -30,6 +37,17 @@ class Session {
   /// Interpret one command line.  Errors come back as ok=false responses,
   /// never exceptions — an interactive console must survive typos.
   Response execute(const std::string& line);
+
+  /// Like execute(), but re-runs the command under the session's
+  /// RetryPolicy while it fails with a conflict or transient I/O error.
+  /// Pair with `if-rev=head`, which re-resolves the current revision on
+  /// every attempt, for a safe compare-and-swap loop.
+  Response execute_with_retry(const std::string& line);
+
+  void set_retry_policy(db::RetryPolicy policy) { retry_policy_ = policy; }
+  const db::RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Injectable wait for retry backoff (tests record instead of sleeping).
+  void set_sleeper(db::Sleeper sleeper) { sleeper_ = std::move(sleeper); }
 
   /// Run a newline-separated script; stops at the first failure unless
   /// `keep_going`.
@@ -77,6 +95,8 @@ class Session {
   Workspace workspace_;
   std::string user_;
   std::optional<std::uint64_t> txn_;
+  db::RetryPolicy retry_policy_;
+  db::Sleeper sleeper_ = db::sleep_for;
 };
 
 }  // namespace fem2::appvm

@@ -14,8 +14,11 @@ constexpr const char* kResultsKind = "results";
 Database::Database() : engine_(std::make_shared<db::Engine>()) {}
 
 Database::Database(const std::string& directory)
-    : engine_(std::make_shared<db::Engine>(
-          db::EngineOptions{.directory = directory})) {}
+    : engine_(std::make_shared<db::Engine>([&directory] {
+        db::EngineOptions options;
+        options.directory = directory;
+        return options;
+      }())) {}
 
 Database::Database(db::EngineOptions options)
     : engine_(std::make_shared<db::Engine>(std::move(options))) {}

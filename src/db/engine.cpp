@@ -32,15 +32,20 @@ ConflictError::ConflictError(std::string name, std::uint64_t expected,
       expected_(expected),
       actual_(actual) {}
 
-Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+DegradedError::DegradedError(const std::string& reason)
+    : Error("engine is degraded (read-only): " + reason), reason_(reason) {}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      vfs_(options_.vfs ? options_.vfs : Vfs::posix()) {
   FEM2_CHECK_MSG(options_.history_limit >= 1,
                  "history_limit must keep at least the current version");
-  if (!options_.directory.empty()) recover();
+  if (!options_.directory.empty()) open_locked();
 }
 
 Engine::~Engine() = default;
 
-void Engine::recover() {
+void Engine::open_locked() {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(options_.directory, ec);
@@ -51,7 +56,7 @@ void Engine::recover() {
   const std::string wal_path = options_.directory + "/wal.f2db";
 
   // Phase 1: the last checkpoint.
-  if (const auto snapshot = load_snapshot(snapshot_path_)) {
+  if (const auto snapshot = load_snapshot(*vfs_, snapshot_path_)) {
     next_txn_ = snapshot->next_txn;
     for (const auto& chain : snapshot->chains) {
       Chain loaded;
@@ -65,7 +70,7 @@ void Engine::recover() {
   }
 
   // Phase 2: replay the log on top — committed transactions only.
-  const ReplayResult replayed = Wal::replay(wal_path);
+  const ReplayResult replayed = Wal::replay(*vfs_, wal_path);
   std::map<std::uint64_t, std::vector<WalRecord>> pending;
   for (const auto& record : replayed.records) {
     // Never reuse a txn id that reached the log, committed or not: a
@@ -87,6 +92,14 @@ void Engine::recover() {
         const auto it = pending.find(record.txn);
         if (it == pending.end()) break;  // compacted away or duplicate
         for (const auto& write : it->second) {
+          // Idempotence guard for a crash between snapshot publish and
+          // log truncation: the snapshot already holds these versions,
+          // and revisions are monotonic per name, so anything at or
+          // below the chain's head is a duplicate.
+          const auto chain = objects_.find(write.name);
+          if (chain != objects_.end() && !chain->second.versions.empty() &&
+              chain->second.versions.back().revision >= write.revision)
+            continue;
           apply_version_locked(
               write.name,
               Version{write.revision, write.type == RecordType::Erase,
@@ -103,7 +116,7 @@ void Engine::recover() {
       replayed.total_bytes - replayed.valid_bytes;
 
   // Shear the torn tail so new commits append after valid data.
-  wal_ = std::make_unique<Wal>(wal_path, replayed.valid_bytes,
+  wal_ = std::make_unique<Wal>(vfs_, wal_path, replayed.valid_bytes,
                                replayed.records.size());
 }
 
@@ -139,6 +152,7 @@ void Engine::apply_version_locked(const std::string& name, Version version) {
 
 std::uint64_t Engine::begin() {
   std::lock_guard lock(mutex_);
+  ensure_writable_locked();
   const std::uint64_t txn = next_txn_++;
   open_txns_[txn];
   return txn;
@@ -218,30 +232,74 @@ std::size_t Engine::commit_writes_locked(std::uint64_t txn,
 
   // Log, then make the commit point durable with one fsync.
   if (wal_) {
-    wal_->append(WalRecord{RecordType::TxnBegin, txn, "", "", "", 0});
-    for (std::size_t i = 0; i < writes.size(); ++i) {
-      const auto& write = writes[i];
-      const auto& version = versions[i];
-      wal_->append(WalRecord{
-          version.deleted ? RecordType::Erase : RecordType::Put, txn,
-          write.name, version.kind, version.value, version.revision});
+    const std::uint64_t pre_bytes = wal_->bytes();
+    const std::uint64_t pre_records = wal_->records();
+    try {
+      wal_->append(WalRecord{RecordType::TxnBegin, txn, "", "", "", 0});
+      for (std::size_t i = 0; i < writes.size(); ++i) {
+        const auto& write = writes[i];
+        const auto& version = versions[i];
+        wal_->append(WalRecord{
+            version.deleted ? RecordType::Erase : RecordType::Put, txn,
+            write.name, version.kind, version.value, version.revision});
+      }
+      wal_->append(WalRecord{RecordType::TxnCommit, txn, "", "", "", 0});
+    } catch (const IoError&) {
+      stats_.io_errors += 1;
+      // Roll the log back to the pre-transaction frame boundary.  If the
+      // rollback holds, this was a clean failure — the transaction failed
+      // but the log is exactly as before it, and the engine stays live
+      // (an ENOSPC disk fails every commit this way without degrading).
+      try {
+        wal_->truncate_to(pre_bytes, pre_records);
+      } catch (const IoError& rollback) {
+        degrade_locked(std::string("append rollback failed: ") +
+                       rollback.what());
+      }
+      throw;
     }
-    wal_->append(WalRecord{RecordType::TxnCommit, txn, "", "", "", 0});
-    if (options_.sync_on_commit) wal_->sync();
+    if (options_.sync_on_commit) {
+      try {
+        wal_->sync();
+      } catch (const IoError& sync_error) {
+        stats_.io_errors += 1;
+        // The fsync-gate hazard: this transaction's records sit in the
+        // file but are not durable, and the NEXT successful fsync would
+        // durably publish them even though this commit failed.  Scrub
+        // them best-effort, then fail safe: read-only until recover().
+        try {
+          wal_->truncate_to(pre_bytes, pre_records);
+          wal_->sync();
+        } catch (...) {
+          // The scrub is advisory; degraded mode is the guarantee.
+        }
+        degrade_locked(std::string("commit fsync failed: ") +
+                       sync_error.what());
+        throw;
+      }
+    }
   }
 
   for (std::size_t i = 0; i < writes.size(); ++i)
     apply_version_locked(writes[i].name, std::move(versions[i]));
   stats_.commits += 1;
 
-  if (wal_ && options_.compact_after_bytes > 0 &&
-      wal_->bytes() > options_.compact_after_bytes)
-    checkpoint_locked();
+  if (wal_ && !degraded_ && options_.compact_after_bytes > 0 &&
+      wal_->bytes() > options_.compact_after_bytes) {
+    try {
+      checkpoint_locked();
+    } catch (const IoError&) {
+      // The commit is durable and acknowledged; a failed automatic
+      // compaction only means the log stays long for now.  Degradation,
+      // if the log truncation itself failed, is already recorded.
+    }
+  }
   return writes.size();
 }
 
 std::size_t Engine::commit(std::uint64_t txn) {
   std::lock_guard lock(mutex_);
+  ensure_writable_locked();
   auto node = open_txns_.extract(txn);
   if (node.empty()) throw Error("no open transaction " + std::to_string(txn));
   return commit_writes_locked(txn, std::move(node.mapped().writes));
@@ -259,6 +317,7 @@ void Engine::abort(std::uint64_t txn) {
 std::uint64_t Engine::put(std::string name, std::string kind,
                           std::string value, std::uint64_t expected) {
   std::lock_guard lock(mutex_);
+  ensure_writable_locked();
   const std::uint64_t txn = next_txn_++;
   std::vector<PendingWrite> writes;
   const std::string key = name;  // keep a handle; the write owns the string
@@ -270,6 +329,7 @@ std::uint64_t Engine::put(std::string name, std::string kind,
 
 bool Engine::erase(const std::string& name, std::uint64_t expected) {
   std::lock_guard lock(mutex_);
+  ensure_writable_locked();
   const Version* current = current_version_locked(name);
   if (!current || current->deleted) {
     // Erasing a missing object is a no-op unless the caller demanded a
@@ -369,14 +429,71 @@ void Engine::checkpoint_locked() {
           SnapshotVersion{v.revision, v.deleted, v.txn, v.kind, v.value});
     data.chains.push_back(std::move(out));
   }
-  write_snapshot(snapshot_path_, data);
-  wal_->reset();  // the log up to here is now redundant
+  try {
+    write_snapshot(*vfs_, snapshot_path_, data);
+  } catch (const IoError&) {
+    // Nothing published yet: the previous snapshot and the intact log
+    // still recover everything, so the engine stays healthy.
+    stats_.io_errors += 1;
+    stats_.checkpoint_failures += 1;
+    throw;
+  }
+  try {
+    wal_->reset();  // the log up to here is now redundant
+  } catch (const IoError& reset_error) {
+    // The snapshot is published but the log could not be truncated; the
+    // log's in-memory counters may no longer match the file, so stop
+    // trusting it.  (Recovery handles the published-snapshot + stale-log
+    // combination via the replay idempotence guard.)
+    stats_.io_errors += 1;
+    stats_.checkpoint_failures += 1;
+    degrade_locked(std::string("log truncation after checkpoint failed: ") +
+                   reset_error.what());
+    throw;
+  }
   stats_.checkpoints += 1;
 }
 
 void Engine::checkpoint() {
   std::lock_guard lock(mutex_);
+  ensure_writable_locked();
   checkpoint_locked();
+}
+
+void Engine::degrade_locked(std::string reason) {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_reason_ = std::move(reason);
+  stats_.degraded_entries += 1;
+}
+
+void Engine::ensure_writable_locked() const {
+  if (degraded_) throw DegradedError(degraded_reason_);
+}
+
+bool Engine::degraded() const {
+  std::lock_guard lock(mutex_);
+  return degraded_;
+}
+
+std::string Engine::degraded_reason() const {
+  std::lock_guard lock(mutex_);
+  return degraded_reason_;
+}
+
+void Engine::recover() {
+  std::lock_guard lock(mutex_);
+  if (options_.directory.empty()) return;  // memory mode never degrades
+  objects_.clear();
+  open_txns_.clear();
+  wal_.reset();
+  next_txn_ = 1;
+  degraded_ = false;
+  degraded_reason_.clear();
+  stats_.recovered_snapshot = false;
+  stats_.recovered_txns = 0;
+  open_locked();
+  stats_.recoveries += 1;
 }
 
 EngineStats Engine::stats() const {
@@ -392,7 +509,7 @@ EngineStats Engine::stats() const {
 EngineState Engine::state() const {
   std::lock_guard lock(mutex_);
   EngineState out;
-  out.mode = wal_ ? "persistent" : "memory";
+  out.mode = !wal_ ? "memory" : (degraded_ ? "degraded" : "persistent");
   out.chains.reserve(objects_.size());
   for (const auto& [name, chain] : objects_) {
     EngineState::Chain c;

@@ -49,6 +49,22 @@ class ConflictError : public Error {
   std::uint64_t actual_ = 0;
 };
 
+/// The engine is in read-only degraded mode after a durability failure.
+/// Reads and history keep working; writes fail with this error until
+/// recover() re-opens the store from its durable state.  Failing safe
+/// here avoids the fsync-gate hazard: after a failed commit fsync, a
+/// later successful fsync would durably publish the failed transaction's
+/// records without anyone having acknowledged them.
+class DegradedError : public Error {
+ public:
+  explicit DegradedError(const std::string& reason);
+
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
 /// Expected-revision wildcard: write unconditionally.
 inline constexpr std::uint64_t kAnyRevision = ~std::uint64_t{0};
 /// Expected revision 0 means "the object must not currently exist".
@@ -64,6 +80,9 @@ struct EngineOptions {
   /// fsync at every commit point (the durability guarantee).  Off only for
   /// throughput experiments that accept losing the OS buffer tail.
   bool sync_on_commit = true;
+  /// Storage backend; null = the real filesystem (Vfs::posix()).  Tests
+  /// and chaos drivers pass a FaultVfs here.
+  std::shared_ptr<Vfs> vfs = nullptr;
 };
 
 /// A live object as seen by a read.
@@ -102,11 +121,15 @@ struct EngineStats {
   std::uint64_t recovery_discarded_txns = 0;   ///< uncommitted at crash
   std::uint64_t recovery_discarded_bytes = 0;  ///< torn-tail bytes sheared
   bool recovered_snapshot = false;             ///< a snapshot was loaded
+  std::uint64_t io_errors = 0;            ///< IoErrors seen on the write path
+  std::uint64_t checkpoint_failures = 0;  ///< checkpoints that threw
+  std::uint64_t degraded_entries = 0;     ///< transitions into degraded mode
+  std::uint64_t recoveries = 0;           ///< explicit recover() calls
 };
 
 /// Full engine state for spec reflection (spec/reflect.hpp) and debugging.
 struct EngineState {
-  std::string mode;  ///< "memory" or "persistent"
+  std::string mode;  ///< "memory", "persistent" or "degraded"
   struct Chain {
     std::string name;
     std::vector<VersionInfo> versions;
@@ -174,8 +197,22 @@ class Engine {
   std::size_t size() const;
 
   // --- maintenance --------------------------------------------------------
-  /// Snapshot the table and truncate the WAL (log compaction).
+  /// Snapshot the table and truncate the WAL (log compaction).  On an I/O
+  /// failure before the snapshot is published, the engine stays healthy
+  /// (the old snapshot plus the intact log still recover everything) and
+  /// the error propagates; a failure truncating the log afterwards
+  /// degrades the engine.
   void checkpoint();
+
+  /// True after a durability failure put the engine in read-only mode.
+  bool degraded() const;
+  /// Why (empty when not degraded).
+  std::string degraded_reason() const;
+
+  /// Re-open the store from its durable state (snapshot load + log
+  /// replay), dropping open transactions and clearing degraded mode.
+  /// This is the only way out of degraded mode.  No-op in memory mode.
+  void recover();
 
   EngineStats stats() const;
   EngineState state() const;
@@ -202,7 +239,7 @@ class Engine {
     std::vector<PendingWrite> writes;
   };
 
-  void recover();
+  void open_locked();
   std::size_t commit_writes_locked(std::uint64_t txn,
                                    std::vector<PendingWrite> writes);
   void apply_version_locked(const std::string& name, Version version);
@@ -210,8 +247,11 @@ class Engine {
   void check_expected_locked(const std::string& name,
                              std::uint64_t expected) const;
   void checkpoint_locked();
+  void degrade_locked(std::string reason);
+  void ensure_writable_locked() const;
 
   EngineOptions options_;
+  std::shared_ptr<Vfs> vfs_;
   mutable std::mutex mutex_;
   std::map<std::string, Chain> objects_;
   std::map<std::uint64_t, Txn> open_txns_;
@@ -219,6 +259,8 @@ class Engine {
   std::unique_ptr<Wal> wal_;  ///< null in memory mode
   std::string snapshot_path_;
   EngineStats stats_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
 };
 
 }  // namespace fem2::db

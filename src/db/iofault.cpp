@@ -1,0 +1,288 @@
+#include "db/iofault.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace fem2::db {
+
+// --- IoFaultPlan ------------------------------------------------------------
+
+IoFaultPlan& IoFaultPlan::fail(IoOp op, std::uint64_t nth, int error) {
+  faults_.push_back(IoFault{op, nth, IoFault::Kind::Fail, error, 0});
+  return *this;
+}
+
+IoFaultPlan& IoFaultPlan::short_write(std::uint64_t nth, std::size_t bytes) {
+  faults_.push_back(
+      IoFault{IoOp::Write, nth, IoFault::Kind::ShortWrite, 0, bytes});
+  return *this;
+}
+
+IoFaultPlan& IoFaultPlan::lying_fsync(std::uint64_t nth) {
+  faults_.push_back(
+      IoFault{IoOp::Fsync, nth, IoFault::Kind::LyingFsync, 0, 0});
+  return *this;
+}
+
+IoFaultPlan& IoFaultPlan::enospc_after(std::uint64_t bytes) {
+  enospc_after_bytes_ = bytes;
+  return *this;
+}
+
+std::string IoFaultPlan::describe() const {
+  std::ostringstream os;
+  for (const auto& fault : faults_) {
+    os << io_op_name(fault.op) << " #" << fault.nth << ": ";
+    switch (fault.kind) {
+      case IoFault::Kind::Fail:
+        os << "fail (" << std::strerror(fault.error ? fault.error : EIO)
+           << ")";
+        break;
+      case IoFault::Kind::ShortWrite:
+        os << "short write (" << fault.short_bytes << " bytes)";
+        break;
+      case IoFault::Kind::LyingFsync:
+        os << "lying fsync";
+        break;
+    }
+    os << "\n";
+  }
+  if (enospc_after_bytes_ > 0)
+    os << "ENOSPC after " << enospc_after_bytes_ << " written bytes\n";
+  return os.str();
+}
+
+IoFaultPlan IoFaultPlan::random_fsync_failures(std::size_t count,
+                                               std::uint64_t among,
+                                               std::uint64_t seed) {
+  IoFaultPlan plan;
+  if (among == 0) return plan;
+  support::Rng rng(seed);
+  std::set<std::uint64_t> picked;
+  while (picked.size() < count && picked.size() < among)
+    picked.insert(rng.next_below(among));
+  for (const std::uint64_t nth : picked) plan.fail(IoOp::Fsync, nth);
+  return plan;
+}
+
+std::uint64_t IoOpCounts::of(IoOp op) const {
+  switch (op) {
+    case IoOp::Open:
+      return open;
+    case IoOp::Read:
+      return read;
+    case IoOp::Write:
+      return write;
+    case IoOp::Fsync:
+      return fsync;
+    case IoOp::Rename:
+      return rename;
+    case IoOp::Truncate:
+      return truncate;
+    case IoOp::DirSync:
+      return dir_sync;
+  }
+  return 0;
+}
+
+// --- FaultVfs ---------------------------------------------------------------
+
+/// Wraps an inner file; every operation goes through the owner's fault
+/// accounting under the owner's lock.
+class FaultFile : public VfsFile {
+ public:
+  FaultFile(FaultVfs& owner, std::unique_ptr<VfsFile> inner)
+      : VfsFile(inner->path()), owner_(owner), inner_(std::move(inner)) {}
+
+  std::size_t write_some(const char* data, std::size_t bytes) override {
+    return owner_.file_write(*inner_, data, bytes);
+  }
+  void sync() override { owner_.file_sync(*inner_); }
+  void truncate(std::uint64_t bytes) override {
+    owner_.file_truncate(*inner_, bytes);
+  }
+  std::uint64_t size() override { return inner_->size(); }
+
+ private:
+  FaultVfs& owner_;
+  std::unique_ptr<VfsFile> inner_;
+};
+
+FaultVfs::FaultVfs(IoFaultPlan plan, std::shared_ptr<Vfs> inner)
+    : plan_(std::move(plan)), inner_(std::move(inner)) {
+  FEM2_CHECK_MSG(inner_ != nullptr, "FaultVfs needs an inner Vfs");
+}
+
+std::uint64_t& FaultVfs::counter(IoOp op) {
+  switch (op) {
+    case IoOp::Open:
+      return counts_.open;
+    case IoOp::Read:
+      return counts_.read;
+    case IoOp::Write:
+      return counts_.write;
+    case IoOp::Fsync:
+      return counts_.fsync;
+    case IoOp::Rename:
+      return counts_.rename;
+    case IoOp::Truncate:
+      return counts_.truncate;
+    case IoOp::DirSync:
+      return counts_.dir_sync;
+  }
+  return counts_.open;  // unreachable
+}
+
+std::optional<IoFault> FaultVfs::account(IoOp op, const std::string& path) {
+  const std::uint64_t index = counter(op)++;
+  for (const auto& fault : plan_.faults()) {
+    if (fault.op != op || fault.nth != index) continue;
+    faults_fired_ += 1;
+    if (fault.kind == IoFault::Kind::Fail)
+      throw IoError(op, path, fault.error ? fault.error : EIO);
+    return fault;
+  }
+  return std::nullopt;
+}
+
+std::size_t FaultVfs::file_write(VfsFile& inner, const char* data,
+                                 std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  const auto fault = account(IoOp::Write, inner.path());
+  if (fault && fault->kind == IoFault::Kind::ShortWrite &&
+      fault->short_bytes < bytes) {
+    // A zero-byte write would spin the caller's write_all loop forever.
+    bytes = fault->short_bytes > 0 ? fault->short_bytes : 1;
+  }
+  if (const std::uint64_t budget = plan_.enospc_after_bytes(); budget > 0) {
+    if (bytes_written_ >= budget) {
+      faults_fired_ += 1;
+      throw IoError(IoOp::Write, inner.path(), ENOSPC);
+    }
+    bytes = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bytes, budget - bytes_written_));
+  }
+  const std::size_t written = inner.write_some(data, bytes);
+  bytes_written_ += written;
+  files_[inner.path()].size += written;
+  return written;
+}
+
+void FaultVfs::file_sync(VfsFile& inner) {
+  std::lock_guard lock(mutex_);
+  const auto fault = account(IoOp::Fsync, inner.path());
+  if (fault && fault->kind == IoFault::Kind::LyingFsync) return;  // "success"
+  inner.sync();
+  auto& state = files_[inner.path()];
+  state.durable = state.size;
+}
+
+void FaultVfs::file_truncate(VfsFile& inner, std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::Truncate, inner.path());
+  inner.truncate(bytes);
+  auto& state = files_[inner.path()];
+  state.size = bytes;
+  state.durable = std::min(state.durable, bytes);
+}
+
+std::unique_ptr<VfsFile> FaultVfs::open_append(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::Open, path);
+  auto inner = inner_->open_append(path);
+  auto [it, inserted] = files_.try_emplace(path);
+  it->second.size = inner->size();
+  // Content present before we started watching is assumed durable.
+  if (inserted) it->second.durable = it->second.size;
+  return std::make_unique<FaultFile>(*this, std::move(inner));
+}
+
+std::unique_ptr<VfsFile> FaultVfs::create_truncate(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::Open, path);
+  auto inner = inner_->create_truncate(path);
+  files_[path] = FileState{0, 0};
+  return std::make_unique<FaultFile>(*this, std::move(inner));
+}
+
+std::optional<std::string> FaultVfs::read_file(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::Read, path);
+  return inner_->read_file(path);
+}
+
+void FaultVfs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::Rename, from);
+  PendingRename pending{from, to, inner_->read_file(to)};
+  inner_->rename(from, to);
+  // The file's bytes keep their durability; the *name change* is pending
+  // until the directory is synced.
+  if (const auto it = files_.find(from); it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  pending_renames_.push_back(std::move(pending));
+}
+
+void FaultVfs::dir_sync(const std::string& dir) {
+  std::lock_guard lock(mutex_);
+  account(IoOp::DirSync, dir);
+  inner_->dir_sync(dir);
+  std::erase_if(pending_renames_, [&dir](const PendingRename& pending) {
+    return parent_directory(pending.to) == dir;
+  });
+}
+
+void FaultVfs::set_plan(IoFaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  plan_ = std::move(plan);
+}
+
+IoOpCounts FaultVfs::counts() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+std::uint64_t FaultVfs::faults_fired() const {
+  std::lock_guard lock(mutex_);
+  return faults_fired_;
+}
+
+void FaultVfs::crash_to_durable(std::uint64_t keep_torn_bytes) {
+  std::lock_guard lock(mutex_);
+  // Un-synced renames roll back, newest first (the old destination
+  // content, saved at rename time, is restored byte for byte).
+  for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+       ++it) {
+    inner_->rename(it->to, it->from);
+    if (const auto entry = files_.find(it->to); entry != files_.end()) {
+      files_[it->from] = entry->second;
+      files_.erase(entry);
+    }
+    if (it->replaced) {
+      auto file = inner_->create_truncate(it->to);
+      file->write_all(*it->replaced);
+      files_[it->to] = FileState{it->replaced->size(), it->replaced->size()};
+    }
+  }
+  pending_renames_.clear();
+
+  // Un-synced tails vanish (minus an optional torn fragment).
+  for (auto& [path, state] : files_) {
+    const std::uint64_t keep =
+        std::min(state.size, state.durable + keep_torn_bytes);
+    if (keep < state.size) {
+      auto file = inner_->open_append(path);
+      file->truncate(keep);
+      state.size = keep;
+    }
+    state.durable = std::min(state.durable, state.size);
+  }
+}
+
+}  // namespace fem2::db

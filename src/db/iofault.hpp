@@ -1,0 +1,148 @@
+// Deterministic I/O fault injection — hw::FaultPlan for the storage
+// boundary.
+//
+// An IoFaultPlan is a declarative list of faults keyed by (operation
+// kind, Nth occurrence): fail the 3rd write with EIO, make the 2nd fsync
+// lie (report success without persisting), cut the 1st rename, give the
+// 5th write a short count, run out of disk after K bytes.  A FaultVfs
+// wraps a real Vfs and fires those faults as the engine's operations
+// stream through it, so a chaos run is exactly as reproducible as a
+// clean one: same plan, same workload, same failure, same recovery.
+//
+// The FaultVfs also models the part of a crash the host can't give us
+// deterministically: which bytes actually survive.  It tracks, per file,
+// the durable prefix (what the last *honest* fsync covered) and pending
+// renames (not yet covered by a dir_sync).  crash_to_durable() then
+// reverts the real filesystem to that durable image — un-synced tails
+// truncated, un-synced renames undone — which is the on-disk state a
+// power loss at that moment could legally leave behind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/vfs.hpp"
+
+namespace fem2::db {
+
+struct IoFault {
+  enum class Kind : std::uint8_t {
+    Fail,        ///< the op throws IoError with `error`
+    ShortWrite,  ///< a write transfers only `short_bytes` (no error)
+    LyingFsync,  ///< fsync reports success but persists nothing
+  };
+
+  IoOp op = IoOp::Write;
+  std::uint64_t nth = 0;  ///< 0-based index among ops of this kind
+  Kind kind = Kind::Fail;
+  int error = 0;               ///< errno for Kind::Fail (EIO default)
+  std::size_t short_bytes = 0; ///< transferred count for Kind::ShortWrite
+};
+
+class IoFaultPlan {
+ public:
+  /// Fail the Nth op of `kind` with `error` (default EIO).
+  IoFaultPlan& fail(IoOp op, std::uint64_t nth, int error = 0);
+  /// The Nth write transfers only `bytes` of its buffer.
+  IoFaultPlan& short_write(std::uint64_t nth, std::size_t bytes);
+  /// The Nth fsync returns success without persisting anything.
+  IoFaultPlan& lying_fsync(std::uint64_t nth);
+  /// Every write after `bytes` total written bytes fails with ENOSPC.
+  IoFaultPlan& enospc_after(std::uint64_t bytes);
+
+  const std::vector<IoFault>& faults() const { return faults_; }
+  std::uint64_t enospc_after_bytes() const { return enospc_after_bytes_; }
+  bool empty() const { return faults_.empty() && enospc_after_bytes_ == 0; }
+  std::size_t size() const { return faults_.size(); }
+
+  /// One line per fault, for logging chaos-test reproductions.
+  std::string describe() const;
+
+  /// `count` distinct fsync failures at indices drawn uniformly from
+  /// [0, among) with a seeded deterministic generator.
+  static IoFaultPlan random_fsync_failures(std::size_t count,
+                                           std::uint64_t among,
+                                           std::uint64_t seed);
+
+ private:
+  std::vector<IoFault> faults_;
+  std::uint64_t enospc_after_bytes_ = 0;
+};
+
+/// Operation counters, for sizing fault sweeps ("how many fsyncs does
+/// this workload issue?").
+struct IoOpCounts {
+  std::uint64_t open = 0;
+  std::uint64_t read = 0;
+  std::uint64_t write = 0;
+  std::uint64_t fsync = 0;
+  std::uint64_t rename = 0;
+  std::uint64_t truncate = 0;
+  std::uint64_t dir_sync = 0;
+
+  std::uint64_t of(IoOp op) const;
+};
+
+class FaultVfs : public Vfs {
+ public:
+  explicit FaultVfs(IoFaultPlan plan = {},
+                    std::shared_ptr<Vfs> inner = Vfs::posix());
+
+  std::unique_ptr<VfsFile> open_append(const std::string& path) override;
+  std::unique_ptr<VfsFile> create_truncate(const std::string& path) override;
+  std::optional<std::string> read_file(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void dir_sync(const std::string& dir) override;
+
+  /// Replace the plan; operation counters keep running (a fault at nth=K
+  /// still means the Kth op since construction).
+  void set_plan(IoFaultPlan plan);
+
+  IoOpCounts counts() const;
+  std::uint64_t faults_fired() const;
+
+  /// Simulate a power loss: truncate every file written through this Vfs
+  /// to its durable prefix (plus up to `keep_torn_bytes` of un-synced
+  /// tail, to model a torn write caught mid-flight) and undo renames not
+  /// yet covered by a successful dir_sync.  Call with every engine over
+  /// this Vfs destroyed.
+  void crash_to_durable(std::uint64_t keep_torn_bytes = 0);
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::uint64_t size = 0;     ///< what the OS sees now
+    std::uint64_t durable = 0;  ///< survives crash_to_durable
+  };
+  struct PendingRename {
+    std::string from;
+    std::string to;
+    std::optional<std::string> replaced;  ///< prior content of `to`
+  };
+
+  /// Advances the op counter and fires the matching fault: throws on
+  /// Kind::Fail, otherwise returns the fault that applies (if any).
+  std::optional<IoFault> account(IoOp op, const std::string& path);
+
+  std::uint64_t& counter(IoOp op);
+
+  // FaultFile forwards here so all accounting shares one lock.
+  std::size_t file_write(VfsFile& inner, const char* data, std::size_t bytes);
+  void file_sync(VfsFile& inner);
+  void file_truncate(VfsFile& inner, std::uint64_t bytes);
+
+  mutable std::mutex mutex_;
+  IoFaultPlan plan_;
+  std::shared_ptr<Vfs> inner_;
+  IoOpCounts counts_;
+  std::uint64_t faults_fired_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::map<std::string, FileState> files_;
+  std::vector<PendingRename> pending_renames_;
+};
+
+}  // namespace fem2::db

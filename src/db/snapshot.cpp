@@ -1,17 +1,9 @@
 #include "db/snapshot.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "db/bytes.hpp"
 #include "db/crc32.hpp"
-#include "db/wal.hpp"
 
 namespace fem2::db {
 
@@ -19,11 +11,6 @@ namespace {
 
 constexpr char kMagic[8] = {'F', '2', 'D', 'B', 'S', 'N', 'A', 'P'};
 constexpr std::uint32_t kFormatVersion = 1;
-
-[[noreturn]] void throw_errno(const std::string& what,
-                              const std::string& path) {
-  throw Error(what + " '" + path + "': " + std::strerror(errno));
-}
 
 std::string encode(const SnapshotData& data) {
   std::string payload;
@@ -98,50 +85,37 @@ SnapshotData decode(std::string_view bytes, const std::string& path) {
 
 }  // namespace
 
-void write_snapshot(const std::string& path, const SnapshotData& data) {
+void write_snapshot(Vfs& vfs, const std::string& path,
+                    const SnapshotData& data) {
   const std::string bytes = encode(data);
   const std::string tmp = path + ".tmp";
 
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("cannot create snapshot", tmp);
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      throw_errno("cannot write snapshot", tmp);
-    }
-    written += static_cast<std::size_t>(n);
+  {
+    auto file = vfs.create_truncate(tmp);
+    file->write_all(bytes);
+    file->sync();
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    throw_errno("cannot fsync snapshot", tmp);
-  }
-  ::close(fd);
 
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw_errno("cannot publish snapshot", path);
+  vfs.rename(tmp, path);
 
-  // Make the rename itself durable.
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
+  // Make the rename itself durable.  A failure here is a real failure:
+  // until the directory is synced, a crash may legally resurrect the old
+  // snapshot, so the caller must not treat the checkpoint as done.
+  vfs.dir_sync(parent_directory(path));
+}
+
+void write_snapshot(const std::string& path, const SnapshotData& data) {
+  write_snapshot(*Vfs::posix(), path, data);
+}
+
+std::optional<SnapshotData> load_snapshot(Vfs& vfs, const std::string& path) {
+  const auto bytes = vfs.read_file(path);
+  if (!bytes) return std::nullopt;
+  return decode(*bytes, path);
 }
 
 std::optional<SnapshotData> load_snapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return decode(buffer.str(), path);
+  return load_snapshot(*Vfs::posix(), path);
 }
 
 }  // namespace fem2::db

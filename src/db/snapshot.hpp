@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "db/vfs.hpp"
+
 namespace fem2::db {
 
 struct SnapshotVersion {
@@ -41,10 +43,16 @@ struct SnapshotData {
 };
 
 /// Write `data` to `path` atomically (tmp + fsync + rename + dir fsync).
+/// Every step that fails — including the directory fsync that makes the
+/// rename durable — throws IoError; a snapshot is only "written" once the
+/// whole chain succeeded.
+void write_snapshot(Vfs& vfs, const std::string& path,
+                    const SnapshotData& data);
 void write_snapshot(const std::string& path, const SnapshotData& data);
 
 /// Load a snapshot.  Returns nullopt when the file does not exist; throws
 /// db::Error on a corrupt or incompatible file.
+std::optional<SnapshotData> load_snapshot(Vfs& vfs, const std::string& path);
 std::optional<SnapshotData> load_snapshot(const std::string& path);
 
 }  // namespace fem2::db

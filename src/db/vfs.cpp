@@ -1,0 +1,168 @@
+#include "db/vfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace fem2::db {
+
+const char* io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::Open:
+      return "open";
+    case IoOp::Read:
+      return "read";
+    case IoOp::Write:
+      return "write";
+    case IoOp::Fsync:
+      return "fsync";
+    case IoOp::Rename:
+      return "rename";
+    case IoOp::Truncate:
+      return "truncate";
+    case IoOp::DirSync:
+      return "dir_sync";
+  }
+  return "io";
+}
+
+namespace {
+
+std::string io_message(IoOp op, const std::string& path, int code) {
+  return std::string(io_op_name(op)) + " failed on '" + path +
+         "': " + std::strerror(code);
+}
+
+}  // namespace
+
+IoError::IoError(IoOp op, std::string path, int error_code)
+    : Error(io_message(op, path, error_code)),
+      op_(op),
+      path_(std::move(path)),
+      code_(error_code) {}
+
+bool IoError::transient() const {
+  return code_ == EINTR || code_ == EAGAIN || code_ == EBUSY ||
+         code_ == ENOBUFS;
+}
+
+void VfsFile::write_all(const char* data, std::size_t bytes) {
+  std::size_t written = 0;
+  while (written < bytes) {
+    written += write_some(data + written, bytes - written);
+  }
+}
+
+std::string parent_directory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// --- PosixVfs ---------------------------------------------------------------
+
+namespace {
+
+class PosixFile : public VfsFile {
+ public:
+  PosixFile(std::string path, int fd) : VfsFile(std::move(path)), fd_(fd) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::size_t write_some(const char* data, std::size_t bytes) override {
+    for (;;) {
+      const ssize_t n = ::write(fd_, data, bytes);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      throw IoError(IoOp::Write, path(), errno);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw IoError(IoOp::Fsync, path(), errno);
+  }
+
+  void truncate(std::uint64_t bytes) override {
+    if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0)
+      throw IoError(IoOp::Truncate, path(), errno);
+    if (::lseek(fd_, static_cast<off_t>(bytes), SEEK_SET) < 0)
+      throw IoError(IoOp::Truncate, path(), errno);
+  }
+
+  std::uint64_t size() override {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) throw IoError(IoOp::Open, path(), errno);
+    return static_cast<std::uint64_t>(end);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::unique_ptr<VfsFile> posix_open(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw IoError(IoOp::Open, path, errno);
+  auto file = std::make_unique<PosixFile>(path, fd);
+  if ((flags & O_TRUNC) == 0) file->size();  // position at end for appends
+  return file;
+}
+
+}  // namespace
+
+std::unique_ptr<VfsFile> PosixVfs::open_append(const std::string& path) {
+  return posix_open(path, O_RDWR | O_CREAT);
+}
+
+std::unique_ptr<VfsFile> PosixVfs::create_truncate(const std::string& path) {
+  return posix_open(path, O_WRONLY | O_CREAT | O_TRUNC);
+}
+
+std::optional<std::string> PosixVfs::read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw IoError(IoOp::Open, path, errno);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int code = errno;
+      ::close(fd);
+      throw IoError(IoOp::Read, path, code);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void PosixVfs::rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0)
+    throw IoError(IoOp::Rename, from, errno);
+}
+
+void PosixVfs::dir_sync(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw IoError(IoOp::DirSync, dir, errno);
+  if (::fsync(fd) != 0) {
+    const int code = errno;
+    ::close(fd);
+    throw IoError(IoOp::DirSync, dir, code);
+  }
+  ::close(fd);
+}
+
+const std::shared_ptr<Vfs>& Vfs::posix() {
+  static const std::shared_ptr<Vfs> instance = std::make_shared<PosixVfs>();
+  return instance;
+}
+
+}  // namespace fem2::db

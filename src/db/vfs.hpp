@@ -1,0 +1,142 @@
+// The storage boundary of fem2-db: every byte the engine persists flows
+// through a Vfs (open/read/write/fsync/rename/truncate/dir_sync).  The
+// engine never calls the host directly, so the same code path runs over
+//
+//   * PosixVfs — the real filesystem, and
+//   * FaultVfs (iofault.hpp) — a deterministic fault injector that fails
+//     the Nth write/fsync/rename with a chosen errno, models short writes
+//     and lying fsyncs, and can simulate a power loss,
+//
+// mirroring what hw::FaultPlan does for the simulated machine: chaos at
+// the storage boundary is reproducible, not probabilistic.
+//
+// Every failure surfaces as an IoError carrying the operation, path and
+// errno, so callers can classify (transient vs. hard) instead of parsing
+// message strings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace fem2::db {
+
+/// Recoverable database-layer failure (I/O errors, corrupt snapshots).
+class Error : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+/// The storage operations the engine performs, for fault targeting and
+/// error classification.
+enum class IoOp : std::uint8_t {
+  Open,
+  Read,
+  Write,
+  Fsync,
+  Rename,
+  Truncate,
+  DirSync,
+};
+
+const char* io_op_name(IoOp op);
+
+/// A failed storage operation: which op, on which path, with which errno.
+class IoError : public Error {
+ public:
+  IoError(IoOp op, std::string path, int error_code);
+
+  IoOp op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int code() const { return code_; }
+
+  /// True when retrying the same operation may succeed without operator
+  /// intervention (interrupted call, momentary resource exhaustion).
+  /// EIO, ENOSPC and friends are NOT transient: they need recovery or a
+  /// bigger disk, not another attempt a millisecond later.
+  bool transient() const;
+
+ private:
+  IoOp op_;
+  std::string path_;
+  int code_;
+};
+
+/// An open file handle.  Writes land at the current offset (the engine
+/// only ever appends); truncate repositions to the new end.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+  VfsFile(const VfsFile&) = delete;
+  VfsFile& operator=(const VfsFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Write up to `bytes`, returning how many were written — a short write
+  /// is not an error (the caller loops); a failed write throws IoError.
+  virtual std::size_t write_some(const char* data, std::size_t bytes) = 0;
+
+  /// Loop write_some until everything is on its way to the OS.
+  void write_all(const char* data, std::size_t bytes);
+  void write_all(std::string_view bytes) {
+    write_all(bytes.data(), bytes.size());
+  }
+
+  /// The durability point: flush this file's data to stable storage.
+  virtual void sync() = 0;
+
+  /// Cut the file to `bytes` and reposition the write offset there.
+  virtual void truncate(std::uint64_t bytes) = 0;
+
+  virtual std::uint64_t size() = 0;
+
+ protected:
+  explicit VfsFile(std::string path) : path_(std::move(path)) {}
+
+ private:
+  std::string path_;
+};
+
+/// The filesystem interface the storage engine is written against.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Open read-write for appending, creating if absent; positioned at end.
+  virtual std::unique_ptr<VfsFile> open_append(const std::string& path) = 0;
+
+  /// Create (or truncate) for writing — the snapshot tmp-file pattern.
+  virtual std::unique_ptr<VfsFile> create_truncate(
+      const std::string& path) = 0;
+
+  /// Whole-file read; nullopt when the file does not exist.
+  virtual std::optional<std::string> read_file(const std::string& path) = 0;
+
+  /// Atomic within-directory rename (the snapshot publish step).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// fsync the directory so renames/creates inside it survive a crash.
+  virtual void dir_sync(const std::string& dir) = 0;
+
+  /// The process-wide real-filesystem instance.
+  static const std::shared_ptr<Vfs>& posix();
+};
+
+/// The real thing: POSIX fds, real fsync, real rename.
+class PosixVfs : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> open_append(const std::string& path) override;
+  std::unique_ptr<VfsFile> create_truncate(const std::string& path) override;
+  std::optional<std::string> read_file(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void dir_sync(const std::string& dir) override;
+};
+
+/// Directory part of `path` ("." when it has no slash) — where dir_sync
+/// must point for a rename of `path` to be durable.
+std::string parent_directory(const std::string& path);
+
+}  // namespace fem2::db

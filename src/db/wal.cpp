@@ -1,13 +1,5 @@
 #include "db/wal.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
 #include "db/bytes.hpp"
 #include "db/crc32.hpp"
 
@@ -16,11 +8,6 @@ namespace fem2::db {
 namespace {
 
 constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
-
-[[noreturn]] void throw_errno(const std::string& what,
-                              const std::string& path) {
-  throw Error(what + " '" + path + "': " + std::strerror(errno));
-}
 
 std::string encode_payload(const WalRecord& record) {
   std::string payload;
@@ -106,76 +93,81 @@ DecodeStatus decode_record(std::string_view buffer, std::size_t& offset,
   return DecodeStatus::Ok;
 }
 
-Wal::Wal(std::string path, std::optional<std::uint64_t> truncate_to,
+Wal::Wal(std::shared_ptr<Vfs> vfs, std::string path,
+         std::optional<std::uint64_t> truncate_to,
          std::uint64_t recovered_records)
     : path_(std::move(path)), records_(recovered_records) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) throw_errno("cannot open write-ahead log", path_);
-  const off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) throw_errno("cannot seek write-ahead log", path_);
-  bytes_ = static_cast<std::uint64_t>(size);
+  FEM2_CHECK_MSG(vfs != nullptr, "Wal needs a Vfs");
+  file_ = vfs->open_append(path_);
+  bytes_ = file_->size();
   if (truncate_to && *truncate_to < bytes_) {
-    if (::ftruncate(fd_, static_cast<off_t>(*truncate_to)) != 0)
-      throw_errno("cannot truncate write-ahead log", path_);
-    if (::lseek(fd_, static_cast<off_t>(*truncate_to), SEEK_SET) < 0)
-      throw_errno("cannot seek write-ahead log", path_);
+    file_->truncate(*truncate_to);
     bytes_ = *truncate_to;
   }
 }
 
-Wal::~Wal() {
-  if (fd_ >= 0) ::close(fd_);
-}
+Wal::Wal(std::string path, std::optional<std::uint64_t> truncate_to,
+         std::uint64_t recovered_records)
+    : Wal(Vfs::posix(), std::move(path), truncate_to, recovered_records) {}
 
 void Wal::append(const WalRecord& record) {
+  FEM2_CHECK_MSG(!torn_, "write-ahead log tail is torn; recover first");
   const std::string frame = encode_record(record);
-  std::size_t written = 0;
-  while (written < frame.size()) {
-    const ssize_t n =
-        ::write(fd_, frame.data() + written, frame.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("cannot append to write-ahead log", path_);
+  try {
+    file_->write_all(frame.data(), frame.size());
+  } catch (const IoError&) {
+    // Part of the frame may have reached the file.  Shear it so the file
+    // offset and our counters agree again; if even that fails, the tail
+    // is torn and the log must not accept further appends.
+    try {
+      file_->truncate(bytes_);
+    } catch (const IoError&) {
+      torn_ = true;
     }
-    written += static_cast<std::size_t>(n);
+    throw;
   }
   bytes_ += frame.size();
   records_ += 1;
 }
 
-void Wal::sync() {
-  if (::fsync(fd_) != 0) throw_errno("cannot fsync write-ahead log", path_);
+void Wal::sync() { file_->sync(); }
+
+void Wal::truncate_to(std::uint64_t bytes, std::uint64_t records) {
+  FEM2_CHECK_MSG(bytes <= bytes_, "cannot roll the log forward");
+  file_->truncate(bytes);
+  bytes_ = bytes;
+  records_ = records;
+  torn_ = false;
 }
 
 void Wal::reset() {
-  if (::ftruncate(fd_, 0) != 0)
-    throw_errno("cannot truncate write-ahead log", path_);
-  if (::lseek(fd_, 0, SEEK_SET) < 0)
-    throw_errno("cannot seek write-ahead log", path_);
-  sync();
+  file_->truncate(0);
+  file_->sync();
   bytes_ = 0;
   records_ = 0;
+  torn_ = false;
 }
 
-ReplayResult Wal::replay(const std::string& path) {
+ReplayResult Wal::replay(Vfs& vfs, const std::string& path) {
   ReplayResult result;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return result;  // no log yet — an empty database
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string data = buffer.str();
-  result.total_bytes = data.size();
+  const auto data = vfs.read_file(path);
+  if (!data) return result;  // no log yet — an empty database
+  result.total_bytes = data->size();
 
   std::size_t offset = 0;
   WalRecord record;
-  while (offset < data.size()) {
-    const DecodeStatus status = decode_record(data, offset, record);
+  while (offset < data->size()) {
+    const DecodeStatus status = decode_record(*data, offset, record);
     if (status != DecodeStatus::Ok) break;
     result.records.push_back(record);
     result.valid_bytes = offset;
   }
   result.torn_tail = result.valid_bytes < result.total_bytes;
   return result;
+}
+
+ReplayResult Wal::replay(const std::string& path) {
+  return replay(*Vfs::posix(), path);
 }
 
 }  // namespace fem2::db

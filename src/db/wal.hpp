@@ -8,25 +8,26 @@
 // record is fully on disk; a torn tail (truncated or CRC-corrupt suffix)
 // is discarded, never fatal.
 //
+// All file traffic goes through a Vfs, so the same log code runs over the
+// real filesystem and over FaultVfs in chaos tests.  A failed append
+// shears its own partial frame so the in-memory counters and the file
+// offset never disagree; if even that shear fails, the log reports
+// torn() and the engine must stop trusting it.
+//
 // Record framing, little-endian:
 //   [u32 payload_bytes][u32 crc32c(payload)][payload]
 //   payload = [u8 type][type-specific fields]
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "support/check.hpp"
+#include "db/vfs.hpp"
 
 namespace fem2::db {
-
-/// Recoverable database-layer failure (I/O errors, corrupt snapshots).
-class Error : public support::Error {
- public:
-  using support::Error::Error;
-};
 
 enum class RecordType : std::uint8_t {
   TxnBegin = 1,
@@ -72,23 +73,36 @@ struct ReplayResult {
 /// Append-only log file with explicit sync points.
 class Wal {
  public:
-  /// Opens `path` for appending, creating it if absent.  If `truncate_to`
-  /// is given, the file is first cut to that many bytes — recovery uses
-  /// this to shear a torn tail before new appends go after valid data.
-  /// `recovered_records` seeds the records() counter after a replay.
+  /// Opens `path` for appending through `vfs`, creating it if absent.  If
+  /// `truncate_to` is given, the file is first cut to that many bytes —
+  /// recovery uses this to shear a torn tail before new appends go after
+  /// valid data.  `recovered_records` seeds the records() counter.
+  Wal(std::shared_ptr<Vfs> vfs, std::string path,
+      std::optional<std::uint64_t> truncate_to = std::nullopt,
+      std::uint64_t recovered_records = 0);
+
+  /// Convenience: open over the real filesystem.
   explicit Wal(std::string path,
                std::optional<std::uint64_t> truncate_to = std::nullopt,
                std::uint64_t recovered_records = 0);
-  ~Wal();
 
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Append one framed record (buffered in the OS; not yet durable).
+  /// Append one framed record (buffered in the OS; not yet durable).  On
+  /// an I/O failure the partial frame is truncated away before the error
+  /// propagates, so the log stays at a frame boundary; if that shear also
+  /// fails, torn() turns true and the file must not be trusted for
+  /// further appends.
   void append(const WalRecord& record);
 
   /// The fsync point: everything appended so far becomes durable.
   void sync();
+
+  /// Roll the log back to an earlier frame boundary — the engine's
+  /// transaction rollback after a mid-commit append failure.  Clears the
+  /// torn flag on success.
+  void truncate_to(std::uint64_t bytes, std::uint64_t records);
 
   /// Truncate the log to empty (after a checkpoint made it redundant).
   void reset();
@@ -97,15 +111,21 @@ class Wal {
   std::uint64_t records() const { return records_; }
   const std::string& path() const { return path_; }
 
+  /// True when a failed append could not shear its partial frame: the
+  /// on-disk tail no longer matches bytes().
+  bool torn() const { return torn_; }
+
   /// Tolerant scan of a log file: returns every complete record up to the
   /// first truncated/corrupt frame.  A missing file is an empty log.
+  static ReplayResult replay(Vfs& vfs, const std::string& path);
   static ReplayResult replay(const std::string& path);
 
  private:
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<VfsFile> file_;
   std::uint64_t bytes_ = 0;
   std::uint64_t records_ = 0;
+  bool torn_ = false;
 };
 
 }  // namespace fem2::db

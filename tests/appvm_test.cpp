@@ -465,6 +465,80 @@ TEST(Session, RetrieveHistoricalRevision) {
   EXPECT_FALSE(session.execute("retrieve m rev=99").ok);
 }
 
+TEST(Session, FailureKindClassifiesConflicts) {
+  Database db;
+  Session alice(db);
+  Session bob(db);
+  ASSERT_TRUE(alice.execute("mesh truss bays=2 load=10").ok);
+  ASSERT_TRUE(bob.execute("mesh truss bays=3 load=20").ok);
+  ASSERT_TRUE(alice.execute("store bridge").ok);  // rev 1
+
+  const auto stale = bob.execute("store bridge if-rev=9");
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.kind, Response::FailureKind::Conflict);
+
+  const auto typo = bob.execute("store");
+  EXPECT_FALSE(typo.ok);
+  EXPECT_EQ(typo.kind, Response::FailureKind::Other);
+
+  const auto fine = bob.execute("store bridge if-rev=1");
+  EXPECT_TRUE(fine.ok);
+  EXPECT_EQ(fine.kind, Response::FailureKind::None);
+}
+
+TEST(Session, IfRevHeadResolvesTheCurrentRevision) {
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.execute("mesh truss bays=2 load=10").ok);
+  // head works on an absent name (expected revision 0 = create)...
+  ASSERT_TRUE(session.execute("store bridge if-rev=head").ok);
+  EXPECT_EQ(db.revision("bridge"), 1u);
+  // ...and tracks the head as it moves.
+  ASSERT_TRUE(session.execute("store bridge if-rev=head").ok);
+  ASSERT_TRUE(session.execute("store bridge if-rev=head").ok);
+  EXPECT_EQ(db.revision("bridge"), 3u);
+}
+
+TEST(Session, ExecuteWithRetryResolvesRacesViaHead) {
+  Database db;
+  Session alice(db);
+  Session bob(db);
+  ASSERT_TRUE(alice.execute("mesh truss bays=2 load=10").ok);
+  ASSERT_TRUE(bob.execute("mesh truss bays=3 load=20").ok);
+  ASSERT_TRUE(alice.execute("store bridge").ok);  // rev 1
+
+  // Bob's sleeper simulates the race: while he "waits", Alice commits
+  // again, so only the re-resolved head can ever succeed.
+  db::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  bob.set_retry_policy(policy);
+  std::vector<std::int64_t> slept;
+  bob.set_sleeper([&](std::chrono::microseconds d) {
+    slept.push_back(d.count());
+    ASSERT_TRUE(alice.execute("store bridge").ok);
+  });
+
+  // A pinned stale revision never recovers: retries burn out.
+  const auto pinned = bob.execute_with_retry("store bridge if-rev=9");
+  EXPECT_FALSE(pinned.ok);
+  EXPECT_EQ(pinned.kind, Response::FailureKind::Conflict);
+  EXPECT_EQ(slept.size(), 3u);  // max_attempts - 1 backoffs, all recorded
+
+  // `if-rev=head` re-reads the revision each attempt and lands first try
+  // (no interleaved writer inside execute_with_retry's attempt).
+  slept.clear();
+  const auto head = bob.execute_with_retry("store bridge if-rev=head");
+  EXPECT_TRUE(head.ok) << head.text;
+  EXPECT_TRUE(slept.empty());
+
+  // Non-retryable failures return immediately, no sleeping.
+  const auto typo = bob.execute_with_retry("store");
+  EXPECT_FALSE(typo.ok);
+  EXPECT_EQ(typo.kind, Response::FailureKind::Other);
+  EXPECT_TRUE(slept.empty());
+}
+
 TEST(Workspace, StorageAccounting) {
   Database db;
   Session session(db);
