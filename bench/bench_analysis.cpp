@@ -12,6 +12,8 @@
 #include <optional>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/model_check.hpp"
+#include "analyze/verify.hpp"
 #include "support/strings.hpp"
 
 using namespace fem2;
@@ -61,6 +63,95 @@ analyze::AnalyzerOptions make_options(bool conformance, bool race,
   o.snapshot_stride = stride;
   o.check_messages = conformance;
   return o;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A2: static verification cost.  The verifier runs offline (no simulation
+/// attached), so the quantity is plain wall time — and for the model
+/// checker, explored states per second as the state-space bound grows.
+void bench_static_verification() {
+  support::Table table("A2 static verification");
+  table.set_header({"pass", "config", "states", "transitions", "host ms",
+                    "kstates/s"});
+
+  {
+    analyze::VerifyOptions options;
+    options.protocols = false;  // grammar + rule passes only
+    const auto start = std::chrono::steady_clock::now();
+    const auto report = analyze::verify_specs(options);
+    const double ms = elapsed_ms(start);
+    table.add_row({"grammar+rules",
+                   std::to_string(report.stats.grammars) + " grammars, " +
+                       std::to_string(report.stats.rules) + " rules",
+                   "-", "-", support::format_double(ms, 1), "-"});
+    bench::note("a2_verify_specs_ms", ms, "ms");
+    bench::note("a2_verify_findings",
+                static_cast<double>(report.findings.size()), "findings");
+  }
+
+  struct MsgConfig {
+    const char* name;
+    analyze::MessagingModelOptions options;
+  };
+  std::vector<MsgConfig> msg_configs = {
+      {"m=2 retx=2 cap=2", {}},
+      {"m=3 retx=3 cap=2", {.messages = 3, .max_retransmits = 3}},
+  };
+  for (const auto& [name, options] : msg_configs) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = analyze::check_messaging(options);
+    const double ms = elapsed_ms(start);
+    table.add_row({"messaging", name, std::to_string(result.states),
+                   std::to_string(result.transitions),
+                   support::format_double(ms, 1),
+                   support::format_double(result.states / ms, 0)});
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = analyze::check_messaging(
+        {.messages = 3, .max_retransmits = 3});
+    const double ms = elapsed_ms(start);
+    bench::note("a2_messaging_states", static_cast<double>(result.states),
+                "states");
+    bench::note("a2_messaging_states_per_sec", result.states / ms * 1e3,
+                "states/s");
+  }
+
+  struct DbConfig {
+    const char* name;
+    analyze::HealthModelOptions options;
+  };
+  std::vector<DbConfig> db_configs = {
+      {"commits=3 ckpt=2", {}},
+      {"commits=7 ckpt=3", {.commits = 7, .checkpoints = 3}},
+  };
+  for (const auto& [name, options] : db_configs) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = analyze::check_db_health(options);
+    const double ms = elapsed_ms(start);
+    table.add_row({"db-health", name, std::to_string(result.states),
+                   std::to_string(result.transitions),
+                   support::format_double(ms, 1),
+                   support::format_double(result.states / ms, 0)});
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result =
+        analyze::check_db_health({.commits = 7, .checkpoints = 3});
+    const double ms = elapsed_ms(start);
+    bench::note("a2_db_health_states", static_cast<double>(result.states),
+                "states");
+    bench::note("a2_db_health_states_per_sec", result.states / ms * 1e3,
+                "states/s");
+  }
+
+  table.print(std::cout);
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -114,6 +205,8 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\n";
   }
+
+  bench_static_verification();
 
   std::cout << "Simulated cycles are identical across modes: the analyzer\n"
                "only observes; it never schedules or charges work.\n";

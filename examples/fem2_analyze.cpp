@@ -8,6 +8,11 @@
 //                                           solve with conformance, race and
 //                                           deadlock detection (exit 1 on
 //                                           any error-severity finding)
+//   fem2_analyze --verify [--bound N]       static spec verification: grammar
+//                                           language algorithms + refinement,
+//                                           rule type preservation, bounded
+//                                           protocol model checking (exit 1
+//                                           on any finding)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -15,6 +20,7 @@
 #include <string>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/verify.hpp"
 #include "fem/mesh.hpp"
 #include "fem/solver.hpp"
 #include "hgraph/grammar_parser.hpp"
@@ -96,28 +102,59 @@ int check(std::size_t stride) {
   return report(analyzer.findings(), analyze::Severity::Error);
 }
 
+int verify(std::size_t bound) {
+  analyze::VerifyOptions options;
+  if (bound != 0) {
+    options.messaging.max_states = bound;
+    options.db_health.max_states = bound;
+  }
+  std::cout << "verifying specs: grammar languages + refinement, rule type "
+               "preservation, protocol model checking\n";
+  const auto report_out = analyze::verify_specs(options);
+  const auto& s = report_out.stats;
+  std::cout << "grammars: " << s.grammars << " checked, " << s.nonterminals
+            << " nonterminals, " << s.witnesses << " witnesses, "
+            << s.refinement_pairs << " refinement pairs\n"
+            << "rules: " << s.rules << " transforms, " << s.paths
+            << " abstract paths\n";
+  const auto protocol_line = [](const char* name,
+                                const analyze::ModelCheckResult& r) {
+    std::cout << name << ": " << r.states << " states, " << r.transitions
+              << " transitions, depth " << r.depth
+              << (r.bounded_out ? " (bounded out)" : " (exhausted)") << "\n";
+  };
+  protocol_line("messaging protocol", report_out.messaging);
+  protocol_line("db health protocol", report_out.db_health);
+  return report(report_out.findings, analyze::Severity::Info);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t stride = 64;
+  std::size_t bound = 0;
   const char* mode = "--check";
   const char* file = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lint-grammars") == 0 ||
-        std::strcmp(argv[i], "--check") == 0) {
+        std::strcmp(argv[i], "--check") == 0 ||
+        std::strcmp(argv[i], "--verify") == 0) {
       mode = argv[i];
     } else if (std::strcmp(argv[i], "--lint-file") == 0 && i + 1 < argc) {
       mode = argv[i];
       file = argv[++i];
     } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
       stride = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--bound") == 0 && i + 1 < argc) {
+      bound = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else {
       std::cerr << "usage: fem2_analyze [--lint-grammars | --lint-file FILE |"
-                   " --check [--stride N]]\n";
+                   " --check [--stride N] | --verify [--bound N]]\n";
       return 2;
     }
   }
   if (std::strcmp(mode, "--lint-grammars") == 0) return lint_grammars();
   if (std::strcmp(mode, "--lint-file") == 0) return lint_file(file);
+  if (std::strcmp(mode, "--verify") == 0) return verify(bound);
   return check(stride);
 }

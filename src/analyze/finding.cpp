@@ -10,6 +10,8 @@ std::string_view pass_name(Pass p) {
     case Pass::Conformance: return "conformance";
     case Pass::Race: return "race";
     case Pass::Deadlock: return "deadlock";
+    case Pass::Verification: return "verify";
+    case Pass::ModelCheck: return "model-check";
   }
   FEM2_UNREACHABLE("bad Pass");
 }

@@ -11,7 +11,14 @@
 namespace fem2::analyze {
 
 /// Which pass produced the finding.
-enum class Pass { GrammarLint, Conformance, Race, Deadlock };
+enum class Pass {
+  GrammarLint,
+  Conformance,
+  Race,
+  Deadlock,
+  Verification,  ///< static spec verification (verify.hpp)
+  ModelCheck,    ///< bounded protocol model checking (model_check.hpp)
+};
 std::string_view pass_name(Pass p);
 
 enum class Severity { Info, Warning, Error };

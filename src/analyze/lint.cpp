@@ -131,7 +131,21 @@ class Linter {
       for (const auto& [name, rules] : grammar_.rules())
         if (!referenced_by_others.contains(name)) frontier.push_back(name);
     }
-    if (frontier.empty()) return;  // fully cyclic grammar: nothing to anchor
+    if (frontier.empty()) {
+      // Fully self-referential grammar: every nonterminal is referenced
+      // by another, so no root can be inferred.  One explicit finding
+      // beats flagging every nonterminal unreachable (or saying nothing).
+      if (!grammar_.rules().empty()) {
+        emit(Severity::Warning, "no-root", "",
+             "no root nonterminal could be inferred (every nonterminal is "
+             "referenced by another); pass explicit roots to lint "
+             "reachability",
+             grammar_.rules().begin()->second.empty()
+                 ? SourceLoc{}
+                 : grammar_.rules().begin()->second.front().loc);
+      }
+      return;
+    }
 
     std::set<std::string> reached(frontier.begin(), frontier.end());
     while (!frontier.empty()) {

@@ -1,0 +1,82 @@
+// Bounded explicit-state model checking of the two distributed protocols
+// the runtime depends on:
+//
+//   1. the reliable inter-cluster messaging protocol (hw/channel.hpp:
+//      sequence numbers, acks, retransmission, duplicate suppression,
+//      out-of-order hold-back) under message loss, duplication and
+//      reordering — checked for exactly-once in-order delivery;
+//   2. the db engine health lifecycle (db/health.hpp) composed with
+//      storage fault events in IoFaultPlan vocabulary — checked for "no
+//      acknowledged commit is lost" and "degraded mode is sticky until
+//      an explicit recover()".
+//
+// The checker does exhaustive breadth-first search over the reachable
+// state space up to a configurable bound, keeps a parent map, and turns
+// any invariant violation into a minimal counterexample trace (BFS order
+// makes it shortest).  The protocol transition code is the *same* code
+// the runtime executes — ReliableSender/ReliableReceiver and HealthModel
+// are instantiated directly — so these are properties of the shipped
+// protocols, not of a parallel re-implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fem2::analyze {
+
+struct ModelCheckResult {
+  bool ok = false;
+  std::string property;       ///< invariant checked
+  std::size_t states = 0;     ///< distinct states visited
+  std::size_t transitions = 0;
+  std::size_t depth = 0;      ///< deepest BFS layer reached
+  bool bounded_out = false;   ///< frontier truncated by the state bound
+  /// On violation: event labels from the initial state to the bad state.
+  std::vector<std::string> trace;
+  std::string violation;  ///< what broke (empty when ok)
+
+  explicit operator bool() const { return ok; }
+  std::string trace_to_string() const;
+};
+
+struct MessagingModelOptions {
+  /// Messages the sender will try to deliver (payloads 1..n).
+  std::size_t messages = 2;
+  /// Retransmission budget per frame before the peer counts unreachable.
+  std::size_t max_retransmits = 2;
+  /// The network holds at most this many frames in flight at once.
+  std::size_t network_capacity = 2;
+  /// Seeded defect: disable receiver duplicate suppression.
+  bool dedup = true;
+  /// Stop exploring after this many distinct states (0 = unbounded).
+  std::size_t max_states = 200'000;
+};
+
+/// Exhaust the reliable-channel protocol: every interleaving of frame
+/// delivery, loss, duplication in flight, ack loss, and retransmission
+/// timer firings.  Invariants: the receiver's delivered sequence is
+/// exactly 1..k in order (no duplicate, no skip, no reordering), and a
+/// sender that exhausts retransmissions has a genuinely lossy network.
+ModelCheckResult check_messaging(const MessagingModelOptions& options = {});
+
+struct HealthModelOptions {
+  /// Commit attempts to explore.
+  std::size_t commits = 3;
+  /// Checkpoints interleaved with the commits.
+  std::size_t checkpoints = 2;
+  /// Seeded defect: degraded mode cleared by a later success.
+  bool sticky = true;
+  std::size_t max_states = 200'000;
+};
+
+/// Exhaust the engine health lifecycle against every interleaving of
+/// storage fault events (IoFaultPlan vocabulary: append short-write,
+/// fsync failure, truncate failure, snapshot-write failure) with commits,
+/// checkpoints and recover().  Invariants: every acknowledged commit
+/// survives to the durable state; degraded mode is only exited by
+/// recover(); a degraded engine acknowledges nothing.
+ModelCheckResult check_db_health(const HealthModelOptions& options = {});
+
+}  // namespace fem2::analyze

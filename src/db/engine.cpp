@@ -252,9 +252,11 @@ std::size_t Engine::commit_writes_locked(std::uint64_t txn,
       // (an ENOSPC disk fails every commit this way without degrading).
       try {
         wal_->truncate_to(pre_bytes, pre_records);
+        fail_locked(FailureSite::AppendRollbackOk, "");
       } catch (const IoError& rollback) {
-        degrade_locked(std::string("append rollback failed: ") +
-                       rollback.what());
+        fail_locked(FailureSite::AppendRollbackFailed,
+                    std::string("append rollback failed: ") +
+                        rollback.what());
       }
       throw;
     }
@@ -273,8 +275,8 @@ std::size_t Engine::commit_writes_locked(std::uint64_t txn,
         } catch (...) {
           // The scrub is advisory; degraded mode is the guarantee.
         }
-        degrade_locked(std::string("commit fsync failed: ") +
-                       sync_error.what());
+        fail_locked(FailureSite::CommitFsyncFailed,
+                    std::string("commit fsync failed: ") + sync_error.what());
         throw;
       }
     }
@@ -284,7 +286,7 @@ std::size_t Engine::commit_writes_locked(std::uint64_t txn,
     apply_version_locked(writes[i].name, std::move(versions[i]));
   stats_.commits += 1;
 
-  if (wal_ && !degraded_ && options_.compact_after_bytes > 0 &&
+  if (wal_ && !health_.degraded() && options_.compact_after_bytes > 0 &&
       wal_->bytes() > options_.compact_after_bytes) {
     try {
       checkpoint_locked();
@@ -436,6 +438,7 @@ void Engine::checkpoint_locked() {
     // still recover everything, so the engine stays healthy.
     stats_.io_errors += 1;
     stats_.checkpoint_failures += 1;
+    fail_locked(FailureSite::CheckpointSnapshotWriteFailed, "");
     throw;
   }
   try {
@@ -447,8 +450,9 @@ void Engine::checkpoint_locked() {
     // combination via the replay idempotence guard.)
     stats_.io_errors += 1;
     stats_.checkpoint_failures += 1;
-    degrade_locked(std::string("log truncation after checkpoint failed: ") +
-                   reset_error.what());
+    fail_locked(FailureSite::CheckpointLogResetFailed,
+                std::string("log truncation after checkpoint failed: ") +
+                    reset_error.what());
     throw;
   }
   stats_.checkpoints += 1;
@@ -460,25 +464,23 @@ void Engine::checkpoint() {
   checkpoint_locked();
 }
 
-void Engine::degrade_locked(std::string reason) {
-  if (degraded_) return;
-  degraded_ = true;
-  degraded_reason_ = std::move(reason);
-  stats_.degraded_entries += 1;
+void Engine::fail_locked(FailureSite site, std::string reason) {
+  const auto transition = health_.on_failure(site, std::move(reason));
+  if (transition.entered_degraded) stats_.degraded_entries += 1;
 }
 
 void Engine::ensure_writable_locked() const {
-  if (degraded_) throw DegradedError(degraded_reason_);
+  if (health_.degraded()) throw DegradedError(health_.reason());
 }
 
 bool Engine::degraded() const {
   std::lock_guard lock(mutex_);
-  return degraded_;
+  return health_.degraded();
 }
 
 std::string Engine::degraded_reason() const {
   std::lock_guard lock(mutex_);
-  return degraded_reason_;
+  return health_.reason();
 }
 
 void Engine::recover() {
@@ -488,8 +490,7 @@ void Engine::recover() {
   open_txns_.clear();
   wal_.reset();
   next_txn_ = 1;
-  degraded_ = false;
-  degraded_reason_.clear();
+  health_.on_recover();
   stats_.recovered_snapshot = false;
   stats_.recovered_txns = 0;
   open_locked();
@@ -509,7 +510,7 @@ EngineStats Engine::stats() const {
 EngineState Engine::state() const {
   std::lock_guard lock(mutex_);
   EngineState out;
-  out.mode = !wal_ ? "memory" : (degraded_ ? "degraded" : "persistent");
+  out.mode = !wal_ ? "memory" : (health_.degraded() ? "degraded" : "persistent");
   out.chains.reserve(objects_.size());
   for (const auto& [name, chain] : objects_) {
     EngineState::Chain c;

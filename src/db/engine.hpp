@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "db/health.hpp"
 #include "db/wal.hpp"
 
 namespace fem2::db {
@@ -247,7 +248,7 @@ class Engine {
   void check_expected_locked(const std::string& name,
                              std::uint64_t expected) const;
   void checkpoint_locked();
-  void degrade_locked(std::string reason);
+  void fail_locked(FailureSite site, std::string reason);
   void ensure_writable_locked() const;
 
   EngineOptions options_;
@@ -259,8 +260,9 @@ class Engine {
   std::unique_ptr<Wal> wal_;  ///< null in memory mode
   std::string snapshot_path_;
   EngineStats stats_;
-  bool degraded_ = false;
-  std::string degraded_reason_;
+  /// Health lifecycle (healthy -> degraded -> recover()); the site->policy
+  /// mapping lives in health.hpp, shared with the bounded model checker.
+  HealthModel health_;
 };
 
 }  // namespace fem2::db

@@ -172,6 +172,14 @@ class Parser {
       }
       ArcPattern pat;
       const Token label = expect(TokKind::Ident, "arc label");
+      for (const auto& prior : comp.arcs) {
+        if (prior.label == label.text) {
+          throw GrammarParseError(
+              "grammar parse error: duplicate arc label '" + label.text +
+              "' in composite at " + label.loc.to_string() +
+              " (first declared at " + prior.loc.to_string() + ")");
+        }
+      }
       pat.label = label.text;
       pat.loc = label.loc;
       switch (peek().kind) {

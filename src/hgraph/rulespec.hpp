@@ -1,0 +1,98 @@
+// Declarative metadata describing what a transform rule does to the
+// H-graph, abstractly: which arcs it reads, which nodes it builds, which
+// indexed families it extends, which peer transforms it invokes.
+//
+// A RuleSpec is the machine-checkable contract of a C++ transform body
+// (transform.hpp).  The static verifier (analyze/verify.hpp) abstractly
+// interprets the spec over grammar nonterminals and proves that the rule,
+// applied to any grammar-conforming argument, yields a grammar-conforming
+// result — type preservation at lint time, instead of a TransformError in
+// production.  The spec is an abstraction the verifier trusts: runtime
+// pre/post conformance checks remain in place to catch a body that drifts
+// from its declared effect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hgraph/grammar.hpp"
+
+namespace fem2::hgraph {
+
+/// One abstract operation.  Variables are rule-local names; `arg` is bound
+/// on entry to the transform's input nonterminal.
+struct RuleOp {
+  enum class Kind {
+    Let,           ///< var := follow(src, label) — label must be a
+                   ///< mandatory (multiplicity-one) arc of src's type
+    PickFamily,    ///< var := an arbitrary member of src's family `label`
+    Fresh,         ///< var := new node, no atom, no arcs (under construction)
+    FreshAtom,     ///< var := new leaf atom node of kind `atom`
+    AddArc,        ///< add arc `label` from dst (under construction) to src
+    AppendFamily,  ///< append src as the next member of dst's family `label`
+    Call,          ///< var := invoke peer transform `name` with argument src
+    Return,        ///< the rule's result is src
+  };
+
+  Kind kind = Kind::Fresh;
+  std::string var;    ///< variable bound by Let/PickFamily/Fresh/FreshAtom/Call
+  std::string src;    ///< source variable
+  std::string dst;    ///< node being extended (AddArc/AppendFamily)
+  std::string label;  ///< arc label or family base name
+  std::string name;   ///< callee transform (Call)
+  AtomKind atom = AtomKind::Nil;  ///< FreshAtom kind
+};
+
+inline RuleOp op_let(std::string var, std::string src, std::string label) {
+  return {RuleOp::Kind::Let, std::move(var), std::move(src), {},
+          std::move(label), {}, AtomKind::Nil};
+}
+inline RuleOp op_pick(std::string var, std::string src, std::string base) {
+  return {RuleOp::Kind::PickFamily, std::move(var), std::move(src), {},
+          std::move(base), {}, AtomKind::Nil};
+}
+inline RuleOp op_fresh(std::string var) {
+  return {RuleOp::Kind::Fresh, std::move(var), {}, {}, {}, {},
+          AtomKind::Nil};
+}
+inline RuleOp op_atom(std::string var, AtomKind kind) {
+  return {RuleOp::Kind::FreshAtom, std::move(var), {}, {}, {}, {}, kind};
+}
+inline RuleOp op_add_arc(std::string dst, std::string label,
+                         std::string src) {
+  return {RuleOp::Kind::AddArc, {}, std::move(src), std::move(dst),
+          std::move(label), {}, AtomKind::Nil};
+}
+inline RuleOp op_append(std::string dst, std::string base, std::string src) {
+  return {RuleOp::Kind::AppendFamily, {}, std::move(src), std::move(dst),
+          std::move(base), {}, AtomKind::Nil};
+}
+inline RuleOp op_call(std::string var, std::string callee, std::string arg) {
+  return {RuleOp::Kind::Call, std::move(var), std::move(arg), {}, {},
+          std::move(callee), AtomKind::Nil};
+}
+inline RuleOp op_return(std::string src) {
+  return {RuleOp::Kind::Return, {}, std::move(src), {}, {}, {},
+          AtomKind::Nil};
+}
+
+/// One abstract execution path (straight-line op sequence ending in
+/// Return).  Loops collapse to a single iteration: appending N conforming
+/// members to a family preserves conformance iff appending one does.
+struct RulePath {
+  std::vector<RuleOp> ops;
+};
+
+/// The rule's declared abstract effect.  A rule with control-flow splits
+/// (e.g. find-or-create) lists one path per branch; every path must
+/// preserve the grammar independently.  Empty paths = no static spec
+/// (the verifier reports the rule as unchecked).
+struct RuleSpec {
+  std::vector<RulePath> paths;
+  /// Where the rule is defined (file line of the registration site).
+  SourceLoc loc;
+
+  bool empty() const { return paths.empty(); }
+};
+
+}  // namespace fem2::hgraph

@@ -36,6 +36,12 @@ bool TransformRegistry::has_transform(std::string_view name) const {
   return transforms_.find(name) != transforms_.end();
 }
 
+const TransformSignature* TransformRegistry::signature(
+    std::string_view name) const {
+  const auto it = transforms_.find(name);
+  return it == transforms_.end() ? nullptr : &it->second.first;
+}
+
 std::vector<std::string> TransformRegistry::transform_names() const {
   std::vector<std::string> out;
   out.reserve(transforms_.size());

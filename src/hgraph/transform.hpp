@@ -18,6 +18,7 @@
 
 #include "hgraph/grammar.hpp"
 #include "hgraph/hgraph.hpp"
+#include "hgraph/rulespec.hpp"
 #include "support/check.hpp"
 
 namespace fem2::hgraph {
@@ -55,6 +56,10 @@ using TransformFn = std::function<NodeId(Invoker&, HGraph&, NodeId)>;
 struct TransformSignature {
   std::string input_nonterminal;   ///< empty = unchecked
   std::string output_nonterminal;  ///< empty = unchecked
+  /// Declarative abstract effect, consumed by the static type-preservation
+  /// verifier (analyze/verify.hpp).  Empty = statically unchecked (the
+  /// runtime pre/post conformance checks still apply).
+  RuleSpec spec;
 };
 
 class TransformRegistry {
@@ -66,6 +71,9 @@ class TransformRegistry {
 
   bool has_transform(std::string_view name) const;
   std::vector<std::string> transform_names() const;
+
+  /// Declared signature (with rule spec), or nullptr if unregistered.
+  const TransformSignature* signature(std::string_view name) const;
 
   /// Apply a transform with pre/post conformance checking.
   NodeId apply(std::string_view name, HGraph& graph, NodeId argument) const;

@@ -1,0 +1,134 @@
+// Reliable inter-cluster channel protocol as a pure state machine.
+//
+// One direction of one (src, dst) cluster pair: the sender stamps each
+// payload with a monotone sequence number and keeps it until acknowledged,
+// retransmitting with exponential backoff; the receiver acks every frame
+// it sees, drops duplicates, holds out-of-order frames, and releases
+// consecutive runs in sequence order.
+//
+// The templates hold protocol state and transitions only — no timers, no
+// wires, no I/O.  sysvm::Os instantiates them with the real Message type
+// and supplies the event queue and the network; the bounded model checker
+// (analyze/model_check.hpp) instantiates them with small integer payloads
+// and exhausts every interleaving of delivery, loss, duplication and
+// timer firings.  Both sides exercise the *same* transition code, so a
+// property proved by the checker is a property of the runtime protocol.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace fem2::hw {
+
+/// Retransmission timeout for the (attempts+1)-th transmission: the base
+/// RTO doubled per failed attempt, capped at 64x.
+inline Cycles retransmit_backoff(Cycles base_rto, std::size_t attempts) {
+  return base_rto << std::min<std::size_t>(attempts, 6);
+}
+
+/// What a firing retransmit timer should do.
+enum class RetransmitDecision {
+  Resend,        ///< frame still unacknowledged: retransmit, rearm timer
+  Exhausted,     ///< retry budget spent: the peer is unreachable
+  AlreadyAcked,  ///< frame was acknowledged meanwhile: timer is stale
+};
+
+template <typename Payload>
+struct ReliableSender {
+  struct Unacked {
+    Payload message;
+    std::size_t attempts = 0;  ///< completed retransmissions (0 = first send)
+  };
+
+  std::uint64_t next_seq = 0;
+  std::map<std::uint64_t, Unacked> unacked;
+
+  /// Admit a payload to the channel: assigns the next sequence number and
+  /// records the frame as unacknowledged.  The caller transmits
+  /// `message(seq)` and arms a timer for `retransmit_backoff(rto, 0)`.
+  std::uint64_t send(Payload payload) {
+    const std::uint64_t seq = next_seq++;
+    unacked.emplace(seq, Unacked{std::move(payload), 0});
+    return seq;
+  }
+
+  /// Ack from the peer: retire the frame.  False if already retired (a
+  /// duplicate ack, or an ack for a frame flushed by failure recovery).
+  bool acknowledge(std::uint64_t seq) { return unacked.erase(seq) > 0; }
+
+  /// A retransmit timer for `seq` fired.  On Resend the attempt counter
+  /// has been bumped: retransmit `message(seq)` and rearm for
+  /// `retransmit_backoff(rto, attempts(seq))`.
+  RetransmitDecision on_timer(std::uint64_t seq,
+                              std::size_t max_retransmits) {
+    const auto it = unacked.find(seq);
+    if (it == unacked.end()) return RetransmitDecision::AlreadyAcked;
+    it->second.attempts += 1;
+    if (it->second.attempts > max_retransmits)
+      return RetransmitDecision::Exhausted;
+    return RetransmitDecision::Resend;
+  }
+
+  const Payload* message(std::uint64_t seq) const {
+    const auto it = unacked.find(seq);
+    return it == unacked.end() ? nullptr : &it->second.message;
+  }
+  std::size_t attempts(std::uint64_t seq) const {
+    const auto it = unacked.find(seq);
+    return it == unacked.end() ? 0 : it->second.attempts;
+  }
+};
+
+template <typename Payload>
+struct ReliableReceiver {
+  std::uint64_t next_expected = 0;
+  std::map<std::uint64_t, Payload> held;  ///< out-of-order hold-back
+
+  /// Duplicate suppression.  Always on in production; the model checker
+  /// switches it off to demonstrate that the exactly-once property fails
+  /// without it (the seeded-defect experiment).
+  bool dedup = true;
+
+  struct Admission {
+    bool duplicate = false;       ///< frame dropped as already-seen
+    std::vector<Payload> delivered;  ///< in-order releases, oldest first
+  };
+
+  /// A data frame arrived.  The caller acks `seq` unconditionally (the
+  /// first ack may have been lost) and then delivers `delivered` in order.
+  Admission admit(std::uint64_t seq, Payload payload) {
+    Admission out;
+    if (dedup && (seq < next_expected || held.contains(seq))) {
+      out.duplicate = true;
+      return out;
+    }
+    if (seq > next_expected) {
+      held.emplace(seq, std::move(payload));
+      return out;
+    }
+    if (seq < next_expected) {
+      // Only reachable with dedup disabled: the stale frame is delivered
+      // a second time instead of being dropped.
+      out.delivered.push_back(std::move(payload));
+      return out;
+    }
+    next_expected += 1;
+    out.delivered.push_back(std::move(payload));
+    // Release any frames that arrived ahead of order behind this one.
+    for (auto it = held.find(next_expected); it != held.end();
+         it = held.find(next_expected)) {
+      out.delivered.push_back(std::move(it->second));
+      held.erase(it);
+      next_expected += 1;
+    }
+    return out;
+  }
+};
+
+}  // namespace fem2::hw

@@ -30,9 +30,19 @@ stress        ::= { element: INT, sxx: REAL, syy: REAL, txy: REAL, vm: REAL }
 stresses      ::= { stress[*]: stress }
 results       ::= { displacements: displacements, stresses: stresses }
 
-workspace   ::= { user: STRING, model?: structure, results?: results }
+workspace   ::= { user: STRING, model?: structure, results?: results,
+                  storage?: storage }
 dbentry     ::= { name: STRING, kind: STRING, bytes: INT, revision: INT }
 database    ::= { entry[*]: dbentry }
+
+# Abstract storage fragment: what layer 1 demands of the database engine
+# beneath it.  The composites are open (`...`) — any concrete engine state
+# may carry extra bookkeeping — so db_grammar's dbengine/chain/version
+# provably refine storage/storedobj/storedver (checked by
+# fem2_analyze --verify).
+storage     ::= { mode: STRING, chain[*]: storedobj, ... }
+storedobj   ::= { name: STRING, version[*]: storedver, ... }
+storedver   ::= { revision: INT, kind: STRING, bytes: INT, ... }
 )";
 }
 

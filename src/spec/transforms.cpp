@@ -122,18 +122,94 @@ hgraph::Grammar appvm_transform_grammar() {
 }
 
 hgraph::TransformRegistry make_appvm_transforms() {
+  using hgraph::AtomKind;
+  using hgraph::RuleSpec;
+  using hgraph::op_add_arc;
+  using hgraph::op_append;
+  using hgraph::op_atom;
+  using hgraph::op_call;
+  using hgraph::op_fresh;
+  using hgraph::op_let;
+  using hgraph::op_pick;
+  using hgraph::op_return;
+  const auto here = [](std::size_t line) {
+    return hgraph::SourceLoc{line, 1};
+  };
+
   hgraph::TransformRegistry registry(appvm_transform_grammar());
-  registry.register_transform("define-structure-model",
-                              {"modelname", "structure"},
-                              define_structure_model);
-  registry.register_transform("add-node", {"addnode_args", "structure"},
-                              add_node_transform);
-  registry.register_transform("add-load", {"addload_args", "structure"},
-                              add_load_transform);
-  registry.register_transform("generate-grid", {"grid_args", "structure"},
-                              generate_grid_transform);
-  registry.register_transform("count-nodes", {"structure", "INT"},
-                              count_nodes_transform);
+
+  // Each registration carries the rule's declarative abstract effect (the
+  // RuleSpec) so fem2_analyze --verify can prove type preservation without
+  // executing the body.  The spec mirrors the C++ above it; the runtime
+  // pre/post conformance checks remain the ground truth.
+  registry.register_transform(
+      "define-structure-model",
+      {"modelname", "structure",
+       RuleSpec{{{{op_let("n", "arg", "name"), op_fresh("m"),
+                   op_add_arc("m", "name", "n"), op_return("m")}}},
+                here(__LINE__)}},
+      define_structure_model);
+
+  registry.register_transform(
+      "add-node",
+      {"addnode_args", "structure",
+       RuleSpec{{{{op_let("model", "arg", "model"), op_let("x", "arg", "x"),
+                   op_let("y", "arg", "y"), op_fresh("p"),
+                   op_add_arc("p", "x", "x"), op_add_arc("p", "y", "y"),
+                   op_append("model", "node", "p"), op_return("model")}}},
+                here(__LINE__)}},
+      add_node_transform);
+
+  // add-load has a find-or-create split: path one extends an existing
+  // load set, path two creates and links a fresh one.
+  registry.register_transform(
+      "add-load",
+      {"addload_args", "structure",
+       RuleSpec{{{{op_let("model", "arg", "model"),
+                   op_pick("set", "model", "loadset"),
+                   op_let("n", "arg", "node"), op_let("d", "arg", "dof"),
+                   op_let("v", "arg", "value"), op_fresh("load"),
+                   op_add_arc("load", "node", "n"),
+                   op_add_arc("load", "dof", "d"),
+                   op_add_arc("load", "value", "v"),
+                   op_append("set", "pointload", "load"),
+                   op_return("model")}},
+                 {{op_let("model", "arg", "model"),
+                   op_let("s", "arg", "set"), op_fresh("set"),
+                   op_add_arc("set", "name", "s"),
+                   op_append("model", "loadset", "set"),
+                   op_let("n", "arg", "node"), op_let("d", "arg", "dof"),
+                   op_let("v", "arg", "value"), op_fresh("load"),
+                   op_add_arc("load", "node", "n"),
+                   op_add_arc("load", "dof", "d"),
+                   op_add_arc("load", "value", "v"),
+                   op_append("set", "pointload", "load"),
+                   op_return("model")}}},
+                here(__LINE__)}},
+      add_load_transform);
+
+  // The grid loop collapses to one iteration abstractly: the body invokes
+  // add-node, whose own spec proves each application preserves structure.
+  registry.register_transform(
+      "generate-grid",
+      {"grid_args", "structure",
+       RuleSpec{{{{op_let("model", "arg", "model"), op_fresh("call_arg"),
+                   op_add_arc("call_arg", "model", "model"),
+                   op_atom("cx", AtomKind::Real),
+                   op_atom("cy", AtomKind::Real),
+                   op_add_arc("call_arg", "x", "cx"),
+                   op_add_arc("call_arg", "y", "cy"),
+                   op_call("r", "add-node", "call_arg"),
+                   op_return("model")}}},
+                here(__LINE__)}},
+      generate_grid_transform);
+
+  registry.register_transform(
+      "count-nodes",
+      {"structure", "INT",
+       RuleSpec{{{{op_atom("c", AtomKind::Int), op_return("c")}}},
+                here(__LINE__)}},
+      count_nodes_transform);
   return registry;
 }
 

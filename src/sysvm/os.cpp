@@ -653,11 +653,8 @@ void Os::send(hw::ClusterId from, hw::ClusterId to, Message message) {
   // intra-cluster handoffs go through shared memory and cannot drop.
   if (options_.reliable_transport && from != to) {
     auto& channel = send_channels_.at(ChannelKey{from.index, to.index});
-    const std::uint64_t seq = channel.next_seq++;
-    auto [it, inserted] =
-        channel.unacked.emplace(seq, UnackedFrame{message, 0});
-    FEM2_CHECK(inserted);
-    transmit_frame(from, to, seq, it->second.message);
+    const std::uint64_t seq = channel.send(std::move(message));
+    transmit_frame(from, to, seq, *channel.message(seq));
     arm_retransmit(from, to, seq, 0);
     return;
   }
@@ -679,8 +676,8 @@ void Os::send_ack(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
 
 void Os::arm_retransmit(hw::ClusterId from, hw::ClusterId to,
                         std::uint64_t seq, std::size_t attempts) {
-  const hw::Cycles rto = options_.retransmit_timeout
-                         << std::min<std::size_t>(attempts, 6);
+  const hw::Cycles rto =
+      hw::retransmit_backoff(options_.retransmit_timeout, attempts);
   machine_.engine().schedule(rto,
                              [this, from, to, seq] { retransmit(from, to, seq); });
 }
@@ -688,22 +685,24 @@ void Os::arm_retransmit(hw::ClusterId from, hw::ClusterId to,
 void Os::retransmit(hw::ClusterId from, hw::ClusterId to, std::uint64_t seq) {
   const auto cit = send_channels_.find(ChannelKey{from.index, to.index});
   if (cit == send_channels_.end()) return;
-  const auto uit = cit->second.unacked.find(seq);
-  if (uit == cit->second.unacked.end()) return;  // acknowledged meanwhile
+  if (!cit->second.message(seq)) return;  // acknowledged meanwhile
   if (!machine_.cluster_alive(to)) return;  // recovery re-routes or drops
   if (!machine_.cluster_alive(from)) return;  // channel died with its source
-  auto& unacked = uit->second;
-  unacked.attempts += 1;
-  if (unacked.attempts > options_.max_retransmits) {
-    throw support::Error(
-        "cluster " + std::to_string(to.index) + " unreachable from cluster " +
-        std::to_string(from.index) + ": frame " + std::to_string(seq) +
-        " unacknowledged after " + std::to_string(options_.max_retransmits) +
-        " retransmits");
+  switch (cit->second.on_timer(seq, options_.max_retransmits)) {
+    case hw::RetransmitDecision::AlreadyAcked:
+      return;
+    case hw::RetransmitDecision::Exhausted:
+      throw support::Error(
+          "cluster " + std::to_string(to.index) +
+          " unreachable from cluster " + std::to_string(from.index) +
+          ": frame " + std::to_string(seq) + " unacknowledged after " +
+          std::to_string(options_.max_retransmits) + " retransmits");
+    case hw::RetransmitDecision::Resend:
+      break;
   }
   lane().stats.retransmissions += 1;
-  transmit_frame(from, to, seq, unacked.message);
-  arm_retransmit(from, to, seq, unacked.attempts);
+  transmit_frame(from, to, seq, *cit->second.message(seq));
+  arm_retransmit(from, to, seq, cit->second.attempts(seq));
 }
 
 void Os::service(hw::ClusterId cluster) {
@@ -739,7 +738,7 @@ void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
       // We are the original sender: retire the acknowledged frame.
       const auto cit =
           send_channels_.find(ChannelKey{cluster.index, frame->src});
-      if (cit != send_channels_.end()) cit->second.unacked.erase(frame->seq);
+      if (cit != send_channels_.end()) cit->second.acknowledge(frame->seq);
       return;
     }
 
@@ -748,26 +747,13 @@ void Os::decode(hw::ClusterId cluster, Packet_t&& packet) {
     // Ack everything that arrives, including duplicates (the first ack may
     // have been lost) and out-of-order frames (held, but received).
     send_ack(cluster, src, frame->seq);
-    if (frame->seq < channel.next_expected ||
-        channel.held.contains(frame->seq)) {
+    auto admission = channel.admit(frame->seq, std::move(frame->message));
+    if (admission.duplicate) {
       lane().stats.duplicates_dropped += 1;
       return;
     }
-    if (frame->seq > channel.next_expected) {
-      channel.held.emplace(frame->seq, std::move(frame->message));
-      return;
-    }
-    channel.next_expected += 1;
-    deliver(cluster, src, std::move(frame->message));
-    // Release any frames that arrived ahead of order behind this one.
-    for (auto held = channel.held.find(channel.next_expected);
-         held != channel.held.end();
-         held = channel.held.find(channel.next_expected)) {
-      Message next = std::move(held->second);
-      channel.held.erase(held);
-      channel.next_expected += 1;
-      deliver(cluster, src, std::move(next));
-    }
+    for (Message& released : admission.delivered)
+      deliver(cluster, src, std::move(released));
     return;
   }
   deliver(cluster, packet.source,

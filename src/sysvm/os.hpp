@@ -31,6 +31,7 @@
 #include <variant>
 #include <vector>
 
+#include "hw/channel.hpp"
 #include "hw/machine.hpp"
 #include "sysvm/heap.hpp"
 #include "sysvm/message.hpp"
@@ -455,18 +456,12 @@ class Os {
   static constexpr std::size_t kFrameOverheadBytes = 16;
   static constexpr std::size_t kAckBytes = 24;
 
-  struct UnackedFrame {
-    Message message;
-    std::size_t attempts = 0;
-  };
-  struct SendChannel {
-    std::uint64_t next_seq = 0;
-    std::map<std::uint64_t, UnackedFrame> unacked;
-  };
-  struct RecvChannel {
-    std::uint64_t next_expected = 0;
-    std::map<std::uint64_t, Message> held;  ///< out-of-order hold-back
-  };
+  // Protocol state and transitions live in hw/channel.hpp as a pure state
+  // machine, shared with the bounded model checker (analyze/model_check);
+  // the Os supplies timers, the network, and failure recovery around it.
+  using SendChannel = hw::ReliableSender<Message>;
+  using UnackedFrame = SendChannel::Unacked;
+  using RecvChannel = hw::ReliableReceiver<Message>;
   using ChannelKey = std::pair<std::uint32_t, std::uint32_t>;  ///< (src, dst)
 
   /// A remote call whose return has not been seen: destination cluster and

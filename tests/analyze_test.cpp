@@ -45,14 +45,21 @@ TEST(GrammarLint, BuiltinLayerGrammarsAreClean) {
 }
 
 TEST(GrammarLint, DetectsSeededDefects) {
-  const auto grammar = hgraph::parse_grammar(R"(
-root    ::= { a: INT, leaf: leaf, d: dup }
+  auto grammar = hgraph::parse_grammar(R"(
+root    ::= { a: INT, leaf: leaf }
 leaf    ::= INT | INT
 orphan  ::= { x: REAL }
 loop    ::= { next: loop }
 mixed   ::= INT | ANY
-dup     ::= { x: INT, x: REAL }
 )");
+  // The parser itself now rejects duplicate arc labels (see hgraph_test),
+  // so seed the conflicting-arc defect by hand: dup ::= { x: INT, x: REAL }.
+  hgraph::Composite dup_comp;
+  dup_comp.arcs.push_back({"x", hgraph::Multiplicity::One, "INT",
+                           hgraph::SourceLoc{7, 11}});
+  dup_comp.arcs.push_back({"x", hgraph::Multiplicity::One, "REAL",
+                           hgraph::SourceLoc{7, 19}});
+  grammar.add_alternative("dup", std::move(dup_comp), hgraph::SourceLoc{7, 1});
   LintOptions options;
   options.roots = {"root"};
   const auto findings = lint_grammar(grammar, "seeded", options);

@@ -258,6 +258,58 @@ TEST(GrammarParser, RejectsMalformedText) {
   EXPECT_THROW(parse_grammar("a ::= @ b"), GrammarParseError);
 }
 
+/// Extract "what()" for a parse failure (fails the test if none thrown).
+std::string parse_error_of(std::string_view text) {
+  try {
+    parse_grammar(text);
+  } catch (const GrammarParseError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "no parse error for: " << text;
+  return "";
+}
+
+TEST(GrammarParser, BadMultiplicityTokenReportsLineAndColumn) {
+  // '+' is not a multiplicity marker; the lexer rejects it where it stands.
+  const std::string error = parse_error_of("a ::= { x+: INT }");
+  EXPECT_NE(error.find("unexpected '+'"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 1, col 10"), std::string::npos) << error;
+}
+
+TEST(GrammarParser, DuplicateArcLabelRejectedWithBothLocations) {
+  const std::string error =
+      parse_error_of("a ::= { x: INT,\n        x: REAL }");
+  EXPECT_NE(error.find("duplicate arc label 'x'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("line 2, col 9"), std::string::npos) << error;
+  EXPECT_NE(error.find("first declared at line 1, col 9"),
+            std::string::npos)
+      << error;
+}
+
+TEST(GrammarParser, DuplicateLabelAcrossMultiplicitiesRejected) {
+  EXPECT_THROW(parse_grammar("a ::= { n: INT, n[*]: INT }"),
+               GrammarParseError);
+  EXPECT_THROW(parse_grammar("a ::= { n?: INT, n*: INT }"),
+               GrammarParseError);
+  // The same label in *different* alternatives stays legal.
+  EXPECT_NO_THROW(parse_grammar("a ::= { n: INT } | { n: REAL }"));
+}
+
+TEST(GrammarParser, UnterminatedCompositeReportsEndOfInput) {
+  const std::string error = parse_error_of("a ::= { x: INT");
+  EXPECT_NE(error.find("expected ','"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 1, col 15"), std::string::npos) << error;
+}
+
+TEST(GrammarParser, UnterminatedAlternativeReportsLocation) {
+  const std::string error = parse_error_of("a ::= INT |");
+  EXPECT_NE(error.find("expected atom kind or nonterminal"),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("line 1, col 12"), std::string::npos) << error;
+}
+
 class GrammarParserRobustness
     : public ::testing::TestWithParam<const char*> {};
 
@@ -293,13 +345,13 @@ counter ::= { @INT }
 )");
   TransformRegistry registry(std::move(grammar));
   registry.register_transform(
-      "increment", {"counter", "counter"},
+      "increment", {"counter", "counter", {}},
       [](Invoker&, HGraph& g, NodeId n) {
         g.set_value(n, Atom{*g.int_value(n) + 1});
         return n;
       });
   registry.register_transform(
-      "increment-twice", {"counter", "counter"},
+      "increment-twice", {"counter", "counter", {}},
       [](Invoker& invoker, HGraph&, NodeId n) {
         invoker.call("increment", n);
         return invoker.call("increment", n);
@@ -314,7 +366,7 @@ counter ::= { @INT }
 
 TEST(Transforms, InputViolationRejected) {
   TransformRegistry registry(parse_grammar("counter ::= { @INT }"));
-  registry.register_transform("noop", {"counter", "counter"},
+  registry.register_transform("noop", {"counter", "counter", {}},
                               [](Invoker&, HGraph&, NodeId n) { return n; });
   HGraph g;
   EXPECT_THROW(registry.apply("noop", g, g.add_string("nope")),
@@ -324,7 +376,7 @@ TEST(Transforms, InputViolationRejected) {
 TEST(Transforms, OutputViolationRejected) {
   TransformRegistry registry(parse_grammar("counter ::= { @INT }"));
   registry.register_transform(
-      "corrupt", {"counter", "counter"},
+      "corrupt", {"counter", "counter", {}},
       [](Invoker&, HGraph& g, NodeId) { return g.add_string("bad"); });
   HGraph g;
   EXPECT_THROW(registry.apply("corrupt", g, g.add_int(1)), TransformError);
