@@ -1,44 +1,51 @@
-// fem2_serve: a multi-session workload driver that hammers one shared
-// fem2-db database from K concurrent sessions — "provide multi-user
-// access" pushed to the point where optimistic concurrency has to earn
-// its keep.  Each worker runs a real interactive Session (the command
-// language, not raw engine calls) and mixes:
+// fem2_serve: a multi-tenant workload driver for the serve subsystem —
+// "provide multi-user access" pushed through a real server front-end.
+// K client threads each open a session on one serve::Server (sessions
+// spread across a few tenants) and submit interactive command lines; the
+// server multiplexes them onto its fixed worker pool, admission control
+// runs ahead of the queue, and every committed write rides the engine's
+// group-commit window (one shared fsync per batch).  The client mix:
 //
-//   * compare-and-swap stores (`store <name> if-rev=N`) with retry on
-//     conflict — the two-engineers-race-on-one-bridge scenario,
+//   * compare-and-swap stores (`store <name> if-rev=N`) retried through
+//     call_with_retry — conflict, quota and overload rejections all back
+//     off on the client's thread and re-enter admission,
 //   * transactional batches (begin / store a, b / commit),
-//   * retrieves, history reads and directory listings.
+//   * retrieves, history reads and snapshot-path queries that bypass the
+//     queue entirely.
 //
 // At the end the driver checks a global invariant: every name's final
 // revision must equal the number of successful stores to it (no lost or
 // phantom writes), and with --smoke it also reopens the database from
-// disk to prove recovery sees the same state.
+// disk to prove recovery sees exactly the acked state.
 //
 // usage: fem2_serve [--sessions=K] [--ops=N] [--dir=PATH] [--seed=S]
 //                   [--smoke]
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "appvm/command.hpp"
+#include "appvm/database.hpp"
+#include "serve/server.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
 using fem2::appvm::Database;
-using fem2::appvm::Session;
+using fem2::serve::Server;
+using fem2::serve::ServerOptions;
 
 namespace {
 
-struct WorkerResult {
+struct ClientResult {
   std::uint64_t stores = 0;
-  std::uint64_t conflicts = 0;
   std::uint64_t retrieves = 0;
   std::uint64_t txns = 0;
   std::uint64_t errors = 0;
@@ -46,23 +53,23 @@ struct WorkerResult {
 
 const std::vector<std::string> kNames = {"bridge", "jib-boom", "panel",
                                          "deck-plate", "mast"};
+const std::vector<std::string> kTenants = {"acme", "globex", "initech"};
 
-void worker(Database& db, unsigned index, std::size_t ops,
-            std::uint64_t seed, WorkerResult& out,
+void client(Server& server, unsigned index, std::size_t ops,
+            std::uint64_t seed, ClientResult& out,
             std::vector<std::atomic<std::uint64_t>>& stores_per_name) {
-  Session session(db, "worker-" + std::to_string(index));
-  // Conflict/transient-I/O retries are the session's job now: a bounded
-  // policy with per-worker jitter seed de-synchronizes the racers.
-  fem2::db::RetryPolicy policy;
-  policy.max_attempts = 64;
-  policy.initial_backoff = std::chrono::microseconds(50);
-  policy.max_backoff = std::chrono::microseconds(2000);
-  policy.seed = seed * 7919 + index;
-  session.set_retry_policy(policy);
+  const std::string& tenant = kTenants[index % kTenants.size()];
+  const auto opened =
+      server.open_session(tenant, "engineer-" + std::to_string(index));
+  if (opened.session == 0) {
+    out.errors += 1;
+    return;
+  }
+  const std::uint64_t id = opened.session;
   fem2::support::Rng rng(seed);
   // A small private model to store; bays vary so payloads differ.
-  session.execute("mesh truss bays=" + std::to_string(2 + index % 4) +
-                  " load=" + std::to_string(100 + index));
+  server.call(id, "mesh truss bays=" + std::to_string(2 + index % 4) +
+                      " load=" + std::to_string(100 + index));
 
   for (std::size_t op = 0; op < ops; ++op) {
     const std::size_t pick = rng.next_below(kNames.size());
@@ -71,9 +78,9 @@ void worker(Database& db, unsigned index, std::size_t ops,
 
     if (dice < 0.60) {
       // Optimistic store: `if-rev=head` re-reads the revision on every
-      // attempt, so the session-level retry IS the CAS loop.
-      const auto r = session.execute_with_retry("store " + name +
-                                                " if-rev=head");
+      // attempt, so the server-side retry loop IS the CAS loop.
+      const auto r = server.call_with_retry(id, "store " + name +
+                                                    " if-rev=head");
       if (r.ok) {
         out.stores += 1;
         stores_per_name[pick] += 1;
@@ -81,12 +88,14 @@ void worker(Database& db, unsigned index, std::size_t ops,
         out.errors += 1;
       }
     } else if (dice < 0.75) {
-      // Transactional batch: two stores, one atomic commit point.
+      // Transactional batch: two stores, one atomic commit point.  The
+      // session FIFO keeps the four lines in order; only the commit can
+      // conflict.
       const std::size_t other = rng.next_below(kNames.size());
-      bool ok = session.execute("begin").ok;
-      ok = ok && session.execute("store " + name).ok;
-      ok = ok && session.execute("store " + kNames[other]).ok;
-      ok = ok && session.execute("commit").ok;
+      bool ok = server.call(id, "begin").ok;
+      ok = ok && server.call(id, "store " + name).ok;
+      ok = ok && server.call(id, "store " + kNames[other]).ok;
+      ok = ok && server.call(id, "commit").ok;
       if (ok) {
         out.txns += 1;
         out.stores += 2;
@@ -94,51 +103,73 @@ void worker(Database& db, unsigned index, std::size_t ops,
         stores_per_name[other] += 1;
       } else {
         out.errors += 1;
+        server.call(id, "abort");  // drop a half-open transaction, if any
       }
     } else if (dice < 0.90) {
-      if (db.contains(name)) {
-        if (session.execute("retrieve " + name).ok)
-          out.retrieves += 1;
-        else
-          out.errors += 1;
-        // Leave the workspace with a model we can store next op.
-      }
+      const auto r = server.call(id, "retrieve " + name);
+      // Absent names are expected early in the run; any hit refreshes the
+      // workspace with a model we can store next op.
+      if (r.ok) out.retrieves += 1;
+    } else if (dice < 0.95) {
+      server.call(id, "history " + name);
+      out.retrieves += 1;
     } else {
-      session.execute(rng.chance(0.5) ? "history " + name : "list");
+      // Snapshot read path: straight from the engine's indexes on this
+      // thread — never queued, never waiting on a batch fsync.
+      fem2::db::QueryFilter filter;
+      filter.kind = "model";
+      server.query(filter);
       out.retrieves += 1;
     }
   }
+  server.close_session(id);
 }
 
 struct RunReport {
-  WorkerResult totals;
+  ClientResult totals;
+  fem2::serve::ServerStats server;
+  fem2::db::EngineStats engine;
   double elapsed_ms = 0.0;
   bool consistent = true;
 };
 
-RunReport run_sessions(Database& db, std::size_t sessions, std::size_t ops,
-                       std::uint64_t seed) {
-  std::vector<WorkerResult> results(sessions);
+RunReport run_clients(std::shared_ptr<fem2::db::Engine> engine,
+                      std::size_t sessions, std::size_t ops,
+                      std::uint64_t seed) {
+  Database db(engine);
+  std::vector<ClientResult> results(sessions);
   std::vector<std::atomic<std::uint64_t>> stores_per_name(kNames.size());
   // The database may be pre-populated (a rerun over a persistent
   // directory): the invariant is on revisions gained THIS run.
   std::vector<std::uint64_t> initial_revision(kNames.size());
   for (std::size_t i = 0; i < kNames.size(); ++i)
     initial_revision[i] = db.revision(kNames[i]);
+
+  RunReport report;
   const auto start = std::chrono::steady_clock::now();
   {
+    ServerOptions options;
+    // A workload driver wants interleaving, not peak throughput: several
+    // workers even on a small host so CAS stores actually race.
+    options.workers =
+        static_cast<unsigned>(std::min<std::size_t>(sessions, 4));
+    options.retry_policy.max_attempts = 64;
+    options.retry_policy.initial_backoff = std::chrono::microseconds(50);
+    options.retry_policy.max_backoff = std::chrono::microseconds(2000);
+    options.retry_policy.seed = seed * 7919;
+    Server server(engine, options);
     std::vector<std::thread> threads;
     threads.reserve(sessions);
     for (std::size_t i = 0; i < sessions; ++i) {
-      threads.emplace_back(worker, std::ref(db), static_cast<unsigned>(i),
-                           ops, seed + i, std::ref(results[i]),
-                           std::ref(stores_per_name));
+      threads.emplace_back(client, std::ref(server),
+                           static_cast<unsigned>(i), ops, seed + i,
+                           std::ref(results[i]), std::ref(stores_per_name));
     }
     for (auto& t : threads) t.join();
+    report.server = server.stats();
   }
   const auto stop = std::chrono::steady_clock::now();
 
-  RunReport report;
   report.elapsed_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   for (const auto& r : results) {
@@ -147,9 +178,7 @@ RunReport run_sessions(Database& db, std::size_t sessions, std::size_t ops,
     report.totals.txns += r.txns;
     report.totals.errors += r.errors;
   }
-  // Conflicts are resolved inside the sessions' retry loops now; the
-  // engine still counts every rejection it handed out.
-  report.totals.conflicts = db.engine().stats().conflicts;
+  report.engine = engine->stats();
   // No lost writes, no phantom writes: every successful store bumped its
   // name's revision by exactly one.
   for (std::size_t i = 0; i < kNames.size(); ++i) {
@@ -200,8 +229,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Smoke mode gets a throwaway persistent directory so the WAL, the
-  // checkpointer and recovery all run (sanitized in CI).
+  // Smoke mode gets a throwaway persistent directory so the WAL, group
+  // commit, the checkpointer and recovery all run (sanitized in CI).
   std::filesystem::path smoke_dir;
   if (smoke && dir.empty()) {
     std::string tmpl =
@@ -217,15 +246,23 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   {
-    Database db = dir.empty() ? Database() : Database(dir);
+    fem2::db::EngineOptions eopts;
+    eopts.directory = dir;
+    if (!dir.empty()) {
+      // One fsync per commit window, not per commit — the server's whole
+      // reason for batching concurrent sessions.
+      eopts.group_commit_window = std::chrono::microseconds(200);
+    }
+    auto engine = std::make_shared<fem2::db::Engine>(eopts);
     std::cout << "fem2_serve: " << sessions << " sessions x " << ops
-              << " ops on " << (dir.empty() ? "an in-memory" : "a persistent")
+              << " ops via server on "
+              << (dir.empty() ? "an in-memory" : "a persistent")
               << " database\n";
-    const RunReport report = run_sessions(db, sessions, ops, seed);
+    const RunReport report = run_clients(engine, sessions, ops, seed);
 
-    fem2::support::Table table("multi-session workload");
+    fem2::support::Table table("multi-tenant server workload");
     table.set_header({"sessions", "ops", "stores", "txns", "conflicts",
-                      "retrieves", "errors", "ms", "commits/s"});
+                      "batches", "max-batch", "errors", "ms", "commits/s"});
     const auto& t = report.totals;
     const double commits_per_s =
         report.elapsed_ms > 0.0
@@ -237,17 +274,24 @@ int main(int argc, char** argv) {
         .cell(static_cast<std::uint64_t>(ops))
         .cell(t.stores)
         .cell(t.txns)
-        .cell(t.conflicts)
-        .cell(t.retrieves)
+        .cell(report.engine.conflicts)
+        .cell(report.engine.group_batches)
+        .cell(report.engine.group_max_batch)
         .cell(t.errors)
         .cell(report.elapsed_ms, 1)
         .cell(commits_per_s, 0);
     table.print(std::cout);
-    ok = report.consistent && t.errors == 0;
+    std::cout << "server: " << report.server.workers << " workers, "
+              << report.server.submitted << " submitted, "
+              << report.server.executed << " executed, peak queue "
+              << report.server.peak_queue_depth << "\n";
+    ok = report.consistent && t.errors == 0 &&
+         report.server.submitted == report.server.executed;
 
     if (!dir.empty()) {
       // Recovery check: a fresh engine over the same directory must see
-      // exactly the surviving state.
+      // exactly the acked state the server reported.
+      Database db(engine);
       const auto before = db.list();
       Database reopened(dir);
       bool recovery_ok = true;

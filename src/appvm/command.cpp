@@ -1,5 +1,6 @@
 #include "appvm/command.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <sstream>
@@ -62,6 +63,11 @@ class Options {
       if (k == key) return to_index(v);
     return fallback;
   }
+  std::string text(std::string_view key, std::string fallback = "") const {
+    for (const auto& [k, v] : pairs_)
+      if (k == key) return v;
+    return fallback;
+  }
   bool flag(std::string_view name) const {
     for (const auto& f : flags_)
       if (f == name) return true;
@@ -96,8 +102,8 @@ fem::ElementType element_from_name(const std::string& name) {
 
 }  // namespace
 
-Session::Session(Database& database, std::string user)
-    : database_(database), user_(std::move(user)) {}
+Session::Session(Database& database, std::string user, std::string tenant)
+    : database_(database), user_(std::move(user)), tenant_(std::move(tenant)) {}
 
 Session::~Session() {
   if (txn_) {
@@ -139,9 +145,7 @@ Response Session::execute_with_retry(const std::string& line) {
   db::RetrySchedule schedule(retry_policy_);
   for (;;) {
     Response response = execute(line);
-    if (response.ok || (response.kind != Response::FailureKind::Conflict &&
-                        response.kind != Response::FailureKind::TransientIo))
-      return response;
+    if (response.ok || !Response::retryable(response.kind)) return response;
     const auto delay = schedule.next_delay();
     if (!delay) return response;
     if (delay->count() > 0) sleeper_(*delay);
@@ -178,6 +182,7 @@ Response Session::dispatch(const std::vector<std::string>& tokens) {
   if (cmd == "store") return cmd_store(tokens);
   if (cmd == "retrieve") return cmd_retrieve(tokens);
   if (cmd == "list") return cmd_list(tokens);
+  if (cmd == "query") return cmd_query(tokens);
   if (cmd == "remove") return cmd_remove(tokens);
   if (cmd == "begin") return cmd_begin(tokens);
   if (cmd == "commit") return cmd_commit(tokens);
@@ -478,6 +483,38 @@ Response Session::cmd_list(const std::vector<std::string>&) {
   return {true, text};
 }
 
+Response Session::cmd_query(const std::vector<std::string>& tokens) {
+  constexpr const char* kUsage =
+      "usage: query [kind=model|results] [prefix=<p>] [min-rev=N] "
+      "[max-rev=N] [limit=N]";
+  static constexpr std::string_view kKeys[] = {"kind", "prefix", "min-rev",
+                                               "max-rev", "limit"};
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) return {false, kUsage};
+    const std::string key = tokens[i].substr(0, eq);
+    if (std::find(std::begin(kKeys), std::end(kKeys), key) == std::end(kKeys))
+      return {false, "unknown query option '" + key + "'\n" + kUsage};
+  }
+  const Options opts(tokens, 1);
+  db::QueryFilter filter;
+  filter.kind = opts.text("kind");
+  filter.name_prefix = opts.text("prefix");
+  filter.min_revision = opts.index("min-rev", 0);
+  filter.max_revision = opts.index("max-rev", db::kAnyRevision);
+  filter.limit = opts.index("limit", 0);
+  const db::QueryResult result = database_.query(filter);
+
+  std::ostringstream os;
+  for (const auto& row : result.rows)
+    os << row.kind << " '" << row.name << "' rev " << row.revision << " ("
+       << row.bytes << " bytes)\n";
+  os << result.rows.size() << (result.rows.size() == 1 ? " row" : " rows");
+  if (result.truncated) os << " (truncated by limit)";
+  os << "; plan " << result.plan << ", scanned " << result.scanned;
+  return {true, os.str()};
+}
+
 Response Session::cmd_remove(const std::vector<std::string>& tokens) {
   constexpr const char* kUsage = "usage: remove <name> [if-rev=N]";
   if (tokens.size() < 2 || tokens.size() > 3) return {false, kUsage};
@@ -598,6 +635,9 @@ std::string Session::help_text() {
       "  retrieve <name> [rev=N]              load a model from the database\n"
       "                                       (rev=N reads an old version)\n"
       "  list / remove <name> [if-rev=N]      database operations\n"
+      "  query [kind=] [prefix=] [min-rev=] [max-rev=] [limit=]\n"
+      "                                       predicate search over stored\n"
+      "                                       entries via secondary indexes\n"
       "  history <name>                       version chain of an entry\n"
       "  begin / commit / abort               group stores into one atomic,\n"
       "                                       durable transaction\n"

@@ -15,10 +15,27 @@
 namespace fem2::appvm {
 
 struct Response {
-  /// Why a command failed, for retry classification: conflicts and
-  /// transient I/O are worth re-running; degraded means the store needs
+  /// Why a command failed, for retry classification: conflicts, transient
+  /// I/O and server pushback (a tenant over quota, a full server queue)
+  /// are worth re-running after a backoff; degraded means the store needs
   /// recovery first; everything else is the user's problem.
-  enum class FailureKind { None, Conflict, TransientIo, Degraded, Other };
+  enum class FailureKind {
+    None,
+    Conflict,
+    TransientIo,
+    Degraded,
+    QuotaExceeded,  ///< tenant admission control said no (serve layer)
+    Overloaded,     ///< server request queue is full (serve layer)
+    Other,
+  };
+
+  /// The retry contract, shared by Session::execute_with_retry and the
+  /// serve layer's call_with_retry.
+  static bool retryable(FailureKind kind) {
+    return kind == FailureKind::Conflict || kind == FailureKind::TransientIo ||
+           kind == FailureKind::QuotaExceeded ||
+           kind == FailureKind::Overloaded;
+  }
 
   bool ok = true;
   std::string text;
@@ -27,7 +44,10 @@ struct Response {
 
 class Session {
  public:
-  explicit Session(Database& database, std::string user = "engineer");
+  /// `tenant` scopes the session for the serve layer's admission control
+  /// and accounting; empty means untenanted (a local console).
+  explicit Session(Database& database, std::string user = "engineer",
+                   std::string tenant = "");
   /// Abandons (aborts) any transaction still open.
   ~Session();
 
@@ -58,6 +78,7 @@ class Session {
   const Workspace& workspace() const { return workspace_; }
   Database& database() { return database_; }
   const std::string& user() const { return user_; }
+  const std::string& tenant() const { return tenant_; }
 
   /// Open transaction id, when `begin` has run and not yet committed.
   std::optional<std::uint64_t> transaction() const { return txn_; }
@@ -83,6 +104,7 @@ class Session {
   Response cmd_store(const std::vector<std::string>& tokens);
   Response cmd_retrieve(const std::vector<std::string>& tokens);
   Response cmd_list(const std::vector<std::string>& tokens);
+  Response cmd_query(const std::vector<std::string>& tokens);
   Response cmd_remove(const std::vector<std::string>& tokens);
   Response cmd_begin(const std::vector<std::string>& tokens);
   Response cmd_commit(const std::vector<std::string>& tokens);
@@ -94,6 +116,7 @@ class Session {
   Database& database_;
   Workspace workspace_;
   std::string user_;
+  std::string tenant_;
   std::optional<std::uint64_t> txn_;
   db::RetryPolicy retry_policy_;
   db::Sleeper sleeper_ = db::sleep_for;

@@ -127,6 +127,10 @@ std::vector<DatabaseEntryInfo> Database::list() const {
   return out;
 }
 
+db::QueryResult Database::query(const db::QueryFilter& filter) const {
+  return engine_->query(filter);
+}
+
 std::vector<DatabaseVersionInfo> Database::history(
     const std::string& name) const {
   std::vector<DatabaseVersionInfo> out;

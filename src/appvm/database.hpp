@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "db/engine.hpp"
+#include "db/query.hpp"
 #include "fem/analysis.hpp"
 #include "fem/model.hpp"
 
@@ -99,6 +100,9 @@ class Database {
   bool remove(const std::string& name,
               std::uint64_t expected = kAnyRevision);
   std::vector<DatabaseEntryInfo> list() const;
+  /// Predicate query over stored entries (kind / name prefix / revision
+  /// window), served from the engine's secondary indexes.
+  db::QueryResult query(const db::QueryFilter& filter) const;
   /// Version chain of an entry, oldest first (empty when never stored).
   std::vector<DatabaseVersionInfo> history(const std::string& name) const;
   /// Current revision of a live entry; 0 when absent.

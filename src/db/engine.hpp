@@ -20,12 +20,16 @@
 // sessions; one mutex serializes the table and the log tail.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/health.hpp"
@@ -84,6 +88,14 @@ struct EngineOptions {
   /// Storage backend; null = the real filesystem (Vfs::posix()).  Tests
   /// and chaos drivers pass a FaultVfs here.
   std::shared_ptr<Vfs> vfs = nullptr;
+  /// Group commit: batch every transaction that reaches its commit point
+  /// within this window into ONE fsync, acking each only after the shared
+  /// fsync returns.  0 (the default) keeps the classic one-fsync-per-
+  /// commit path.  Only meaningful for a persistent engine with
+  /// sync_on_commit.
+  std::chrono::microseconds group_commit_window{0};
+  /// Seal a filling batch early once it holds this many transactions.
+  std::size_t group_commit_max_batch = 64;
 };
 
 /// A live object as seen by a read.
@@ -102,6 +114,9 @@ struct VersionInfo {
   std::uint64_t txn = 0;
   bool deleted = false;
 };
+
+struct QueryFilter;  // predicate query over live objects (db/query.hpp)
+struct QueryResult;
 
 /// Directory row for list().
 struct EntryInfo {
@@ -126,6 +141,10 @@ struct EngineStats {
   std::uint64_t checkpoint_failures = 0;  ///< checkpoints that threw
   std::uint64_t degraded_entries = 0;     ///< transitions into degraded mode
   std::uint64_t recoveries = 0;           ///< explicit recover() calls
+  std::uint64_t group_batches = 0;        ///< group-commit batches fsynced
+  std::uint64_t group_batched_txns = 0;   ///< transactions those carried
+  std::uint64_t group_max_batch = 0;      ///< largest batch seen
+  std::uint64_t queries = 0;              ///< query() calls served
 };
 
 /// Full engine state for spec reflection (spec/reflect.hpp) and debugging.
@@ -142,6 +161,9 @@ struct EngineState {
   };
   std::vector<Txn> transactions;  ///< open (uncommitted) transactions
   EngineStats stats;
+  std::size_t index_kinds = 0;    ///< kind buckets in the secondary index
+  std::size_t index_entries = 0;  ///< entries in the revision index
+  std::size_t pending_heads = 0;  ///< heads claimed by unsynced batches
 };
 
 class Engine {
@@ -191,6 +213,9 @@ class Engine {
                                    std::uint64_t revision) const;
   std::vector<VersionInfo> history(const std::string& name) const;
   std::vector<EntryInfo> list() const;
+  /// Predicate query over live objects via the secondary indexes; see
+  /// db/query.hpp for the filter, result and planner contract.
+  QueryResult query(const QueryFilter& filter) const;
   bool contains(const std::string& name) const;
   /// Current revision of a live object; 0 when absent or deleted.
   std::uint64_t revision_of(const std::string& name) const;
@@ -240,11 +265,53 @@ class Engine {
     std::vector<PendingWrite> writes;
   };
 
+  /// What a name's revision counter would read once every in-flight
+  /// (appended, not yet fsynced) group-commit batch lands.
+  struct HeadView {
+    std::uint64_t revision = 0;  ///< 0 when the name has never existed
+    bool deleted = true;
+  };
+
+  /// One group-commit batch: the transactions whose WAL frames share one
+  /// fsync.  The first transaction to open a batch is its leader; it runs
+  /// the window timer, the fsync and the apply, then wakes the members.
+  struct Batch {
+    std::uint64_t seq = 0;           ///< fsync/apply order, 1-based
+    std::uint64_t start_bytes = 0;   ///< WAL position before the batch
+    std::uint64_t start_records = 0;
+    bool sealed = false;  ///< no longer accepting members
+    bool done = false;    ///< outcome decided; members may wake
+    bool failed = false;  ///< outcome was an I/O failure
+    IoOp error_op = IoOp::Fsync;  ///< failure detail for members' throw
+    std::string error_path;
+    int error_code = 0;
+    struct Member {
+      std::uint64_t txn = 0;
+      std::vector<std::string> names;
+      std::vector<Version> versions;
+    };
+    std::vector<Member> members;  ///< in WAL append order
+    std::condition_variable cv;   ///< sealed (leader) / done (members)
+  };
+
   void open_locked();
-  std::size_t commit_writes_locked(std::uint64_t txn,
-                                   std::vector<PendingWrite> writes);
+  std::size_t commit_writes_locked(std::unique_lock<std::mutex>& lock,
+                                   std::uint64_t txn,
+                                   std::vector<PendingWrite> writes,
+                                   std::uint64_t* last_revision = nullptr);
+  std::size_t group_commit_locked(std::unique_lock<std::mutex>& lock,
+                                  std::uint64_t txn,
+                                  std::vector<PendingWrite> writes,
+                                  std::vector<Version> versions,
+                                  std::uint64_t pre_bytes,
+                                  std::uint64_t pre_records);
+  void lead_batch_locked(std::unique_lock<std::mutex>& lock,
+                         const std::shared_ptr<Batch>& batch);
+  void fail_batches_locked(const IoError& error);
   void apply_version_locked(const std::string& name, Version version);
+  void rebuild_indexes_locked();
   const Version* current_version_locked(const std::string& name) const;
+  HeadView effective_head_locked(const std::string& name) const;
   void check_expected_locked(const std::string& name,
                              std::uint64_t expected) const;
   void checkpoint_locked();
@@ -259,10 +326,26 @@ class Engine {
   std::uint64_t next_txn_ = 1;
   std::unique_ptr<Wal> wal_;  ///< null in memory mode
   std::string snapshot_path_;
-  EngineStats stats_;
+  mutable EngineStats stats_;  ///< mutable: query() counts under a const lock
   /// Health lifecycle (healthy -> degraded -> recover()); the site->policy
   /// mapping lives in health.hpp, shared with the bounded model checker.
   HealthModel health_;
+
+  // --- group-commit coordinator (all guarded by mutex_) ------------------
+  std::shared_ptr<Batch> filling_;  ///< open batch accepting members
+  std::map<std::uint64_t, std::shared_ptr<Batch>> batches_;  ///< in flight
+  std::uint64_t next_batch_seq_ = 1;
+  std::uint64_t applied_batch_seq_ = 0;  ///< last batch fsynced + applied
+  /// Wakes leaders waiting their fsync turn, plus checkpoint()/recover()
+  /// waiting for in-flight batches to drain.
+  std::condition_variable sync_order_cv_;
+  /// Revision heads already claimed by appended-but-unsynced batches, so
+  /// later transactions validate and number against in-flight state.
+  std::map<std::string, HeadView> pending_heads_;
+
+  // --- secondary indexes over live heads (guarded by mutex_) -------------
+  std::map<std::string, std::set<std::string>> kind_index_;
+  std::set<std::pair<std::uint64_t, std::string>> revision_index_;
 };
 
 }  // namespace fem2::db

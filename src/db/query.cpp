@@ -1,0 +1,86 @@
+#include "db/query.hpp"
+
+namespace fem2::db {
+
+QueryResult Engine::query(const QueryFilter& filter) const {
+  std::lock_guard lock(mutex_);
+  stats_.queries += 1;
+
+  QueryResult result;
+  const auto matches = [&](const std::string& name, const Version& head) {
+    if (!filter.kind.empty() && head.kind != filter.kind) return false;
+    if (!filter.name_prefix.empty() &&
+        name.compare(0, filter.name_prefix.size(), filter.name_prefix) != 0)
+      return false;
+    return head.revision >= filter.min_revision &&
+           head.revision <= filter.max_revision;
+  };
+  const auto live_head = [&](const std::string& name) -> const Version* {
+    const Version* head = current_version_locked(name);
+    return (head && !head->deleted) ? head : nullptr;
+  };
+  // Candidate visitor: count it, re-check every predicate (the planner
+  // must never change the result set), respect the limit.  Returns false
+  // once the limit makes further candidates moot.
+  const auto visit = [&](const std::string& name,
+                         const Version& head) -> bool {
+    result.scanned += 1;
+    if (matches(name, head))
+      result.rows.push_back(
+          EntryInfo{name, head.kind, head.value.size(), head.revision});
+    if (filter.limit != 0 && result.rows.size() >= filter.limit) {
+      result.truncated = true;
+      return false;
+    }
+    return true;
+  };
+
+  const bool narrows_revision =
+      filter.min_revision > 0 || filter.max_revision != kAnyRevision;
+
+  if (narrows_revision) {
+    // Ordered (revision, name) index over live heads: walk exactly the
+    // revision window, nothing outside it.
+    result.plan = "revision-index";
+    auto it = revision_index_.lower_bound({filter.min_revision, ""});
+    for (; it != revision_index_.end() && it->first <= filter.max_revision;
+         ++it) {
+      const Version* head = live_head(it->second);
+      if (!head) continue;  // index is maintained; stay defensive
+      if (!visit(it->second, *head)) break;
+    }
+  } else if (!filter.name_prefix.empty()) {
+    // The object table is ordered by name: a prefix is a bounded range.
+    result.plan = "name-range";
+    for (auto it = objects_.lower_bound(filter.name_prefix);
+         it != objects_.end(); ++it) {
+      if (it->first.compare(0, filter.name_prefix.size(),
+                            filter.name_prefix) != 0)
+        break;
+      const Version* head = live_head(it->first);
+      if (!head) continue;
+      if (!visit(it->first, *head)) break;
+    }
+  } else if (!filter.kind.empty()) {
+    result.plan = "kind-index";
+    const auto bucket = kind_index_.find(filter.kind);
+    if (bucket != kind_index_.end()) {
+      for (const auto& name : bucket->second) {
+        const Version* head = live_head(name);
+        if (!head) continue;
+        if (!visit(name, *head)) break;
+      }
+    }
+  } else {
+    result.plan = "scan";
+    for (const auto& [name, chain] : objects_) {
+      if (chain.versions.empty()) continue;
+      const Version& head = chain.versions.back();
+      if (head.deleted) continue;
+      if (!visit(name, head)) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fem2::db

@@ -1,0 +1,117 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace fem2::serve {
+
+const char* admit_name(Admit admit) {
+  switch (admit) {
+    case Admit::Ok:
+      return "ok";
+    case Admit::SessionLimit:
+      return "session limit";
+    case Admit::InflightLimit:
+      return "inflight limit";
+    case Admit::RateLimit:
+      return "rate limit";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(TenantQuota default_quota,
+                                         Clock clock)
+    : default_quota_(default_quota),
+      clock_(clock ? std::move(clock)
+                   : [] { return std::chrono::steady_clock::now(); }) {}
+
+void AdmissionController::set_quota(const std::string& tenant,
+                                    TenantQuota quota) {
+  std::lock_guard lock(mutex_);
+  quotas_[tenant] = quota;
+  // A fresh rate limit starts from a fresh bucket.
+  auto state = tenants_.find(tenant);
+  if (state != tenants_.end()) state->second.bucket_primed = false;
+}
+
+TenantQuota AdmissionController::quota_for(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  const auto it = quotas_.find(tenant);
+  return it != quotas_.end() ? it->second : default_quota_;
+}
+
+Admit AdmissionController::admit_session(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  const auto quota_it = quotas_.find(tenant);
+  const TenantQuota& quota =
+      quota_it != quotas_.end() ? quota_it->second : default_quota_;
+  State& state = tenants_[tenant];
+  if (state.sessions >= quota.max_sessions) {
+    state.rejected += 1;
+    return Admit::SessionLimit;
+  }
+  state.sessions += 1;
+  return Admit::Ok;
+}
+
+void AdmissionController::release_session(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  State& state = tenants_[tenant];
+  if (state.sessions > 0) state.sessions -= 1;
+}
+
+Admit AdmissionController::admit_request(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  const auto quota_it = quotas_.find(tenant);
+  const TenantQuota& quota =
+      quota_it != quotas_.end() ? quota_it->second : default_quota_;
+  State& state = tenants_[tenant];
+  if (state.inflight >= quota.max_inflight) {
+    state.rejected += 1;
+    return Admit::InflightLimit;
+  }
+  if (!take_token_locked(state, quota)) {
+    state.rejected += 1;
+    return Admit::RateLimit;
+  }
+  state.inflight += 1;
+  state.admitted += 1;
+  return Admit::Ok;
+}
+
+void AdmissionController::complete_request(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  State& state = tenants_[tenant];
+  if (state.inflight > 0) state.inflight -= 1;
+}
+
+bool AdmissionController::take_token_locked(State& state,
+                                            const TenantQuota& quota) {
+  if (quota.ops_per_second <= 0.0) return true;  // unlimited
+  const double capacity =
+      quota.burst > 0.0 ? quota.burst : quota.ops_per_second;
+  const auto now = clock_();
+  if (!state.bucket_primed) {
+    state.tokens = capacity;
+    state.last_refill = now;
+    state.bucket_primed = true;
+  } else if (now > state.last_refill) {
+    const double elapsed =
+        std::chrono::duration<double>(now - state.last_refill).count();
+    state.tokens =
+        std::min(capacity, state.tokens + elapsed * quota.ops_per_second);
+    state.last_refill = now;
+  }
+  if (state.tokens < 1.0) return false;
+  state.tokens -= 1.0;
+  return true;
+}
+
+TenantStats AdmissionController::stats_for(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  return TenantStats{it->second.sessions, it->second.inflight,
+                     it->second.admitted, it->second.rejected};
+}
+
+}  // namespace fem2::serve

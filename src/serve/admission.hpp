@@ -1,0 +1,94 @@
+// Per-tenant admission control for the fem2-serve front-end.
+//
+// A tenant is a billing/isolation boundary: every session carries a
+// tenant id, and the controller enforces three independent limits per
+// tenant before work reaches the worker pool —
+//
+//   * max_sessions  : concurrently open sessions,
+//   * max_inflight  : requests queued or executing at once,
+//   * ops_per_second: a token bucket (capacity `burst`) refilled from an
+//     injectable clock, so one chatty tenant cannot starve the pool.
+//
+// Rejections are cheap and classified (session cap / inflight cap / rate)
+// so the server can answer QuotaExceeded with a precise reason and the
+// client can back off and retry.  The clock is injectable; tests drive
+// the bucket deterministically instead of sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fem2::serve {
+
+struct TenantQuota {
+  std::size_t max_sessions = 64;
+  std::size_t max_inflight = 256;
+  /// Sustained request rate; 0 = unlimited (rate check skipped).
+  double ops_per_second = 0.0;
+  /// Token-bucket capacity; 0 = same as ops_per_second (no extra burst).
+  double burst = 0.0;
+};
+
+enum class Admit : std::uint8_t {
+  Ok,
+  SessionLimit,   ///< tenant has max_sessions open already
+  InflightLimit,  ///< tenant has max_inflight requests outstanding
+  RateLimit,      ///< token bucket is empty right now
+};
+
+const char* admit_name(Admit admit);
+
+struct TenantStats {
+  std::size_t sessions = 0;
+  std::size_t inflight = 0;
+  std::uint64_t admitted = 0;  ///< requests admitted
+  std::uint64_t rejected = 0;  ///< sessions + requests turned away
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// `clock` = null uses steady_clock::now; tests inject a fake.
+  explicit AdmissionController(TenantQuota default_quota = {},
+                               Clock clock = nullptr);
+
+  /// Per-tenant override; tenants without one get the default quota.
+  void set_quota(const std::string& tenant, TenantQuota quota);
+  TenantQuota quota_for(const std::string& tenant) const;
+
+  Admit admit_session(const std::string& tenant);
+  void release_session(const std::string& tenant);
+
+  /// Gate one request: inflight cap, then the token bucket.  A request
+  /// admitted here MUST be paired with complete_request.
+  Admit admit_request(const std::string& tenant);
+  void complete_request(const std::string& tenant);
+
+  TenantStats stats_for(const std::string& tenant) const;
+
+ private:
+  struct State {
+    std::size_t sessions = 0;
+    std::size_t inflight = 0;
+    double tokens = 0.0;
+    bool bucket_primed = false;
+    std::chrono::steady_clock::time_point last_refill;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  bool take_token_locked(State& state, const TenantQuota& quota);
+
+  mutable std::mutex mutex_;
+  TenantQuota default_quota_;
+  Clock clock_;
+  std::map<std::string, TenantQuota> quotas_;
+  std::map<std::string, State> tenants_;
+};
+
+}  // namespace fem2::serve

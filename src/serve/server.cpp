@@ -1,0 +1,271 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace fem2::serve {
+
+unsigned Server::default_pool_width() {
+  if (const char* env = std::getenv("FEM2_HOST_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v >= 1 && v <= 256) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 256u);
+}
+
+Server::Server(std::shared_ptr<db::Engine> engine, ServerOptions options)
+    : engine_(std::move(engine)),
+      database_(engine_),
+      options_(options),
+      admission_(options.default_quota, options.admission_clock),
+      pool_width_(options.workers != 0 ? std::clamp(options.workers, 1u, 256u)
+                                       : default_pool_width()) {
+  FEM2_CHECK_MSG(engine_ != nullptr, "Server needs an engine");
+  FEM2_CHECK_MSG(options_.queue_capacity >= 1,
+                 "queue_capacity must admit at least one request");
+  stats_.workers = pool_width_;
+  pool_.reserve(pool_width_);
+  for (unsigned i = 0; i < pool_width_; ++i)
+    pool_.emplace_back([this] { worker_main(); });
+}
+
+Server::~Server() {
+  std::unique_lock lock(mutex_);
+  accepting_ = false;
+  // Every accepted request is answered before the pool stops: queued_
+  // only reaches zero once the last worker has delivered its response.
+  drain_cv_.wait(lock, [&] { return queued_ == 0; });
+  stop_.store(true, std::memory_order_release);
+  ready_cv_.notify_all();
+  lock.unlock();
+  for (auto& worker : pool_) worker.join();
+}
+
+// --- session lifecycle -----------------------------------------------------
+
+OpenSession Server::open_session(const std::string& tenant,
+                                 const std::string& user) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_)
+      return {0,
+              {false, "server is shutting down",
+               appvm::Response::FailureKind::Overloaded}};
+  }
+  const Admit admit = admission_.admit_session(tenant);
+  if (admit != Admit::Ok) {
+    std::lock_guard lock(mutex_);
+    stats_.sessions_rejected += 1;
+    return {0,
+            {false,
+             "tenant '" + tenant + "' over quota: " +
+                 std::string(admit_name(admit)),
+             appvm::Response::FailureKind::QuotaExceeded}};
+  }
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_session_++;
+  sessions_.emplace(
+      id, std::make_shared<SessionState>(id, tenant, database_, user));
+  stats_.sessions_opened += 1;
+  return {id,
+          {true, "session " + std::to_string(id) + " open for tenant '" +
+                     tenant + "'"}};
+}
+
+appvm::Response Server::close_session(std::uint64_t session) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end())
+      return {false, "no such session " + std::to_string(session),
+              appvm::Response::FailureKind::Other};
+    state = it->second;
+    if (state->closing)
+      return {false, "session " + std::to_string(session) + " already closing",
+              appvm::Response::FailureKind::Other};
+    state->closing = true;
+    // Everything already in the FIFO still runs; only new submissions are
+    // refused.  Wait until a worker has delivered the last response.
+    drain_cv_.wait(lock,
+                   [&] { return state->fifo.empty() && !state->scheduled; });
+    sessions_.erase(session);
+  }
+  admission_.release_session(state->tenant);
+  return {true, "session " + std::to_string(session) + " closed"};
+}
+
+// --- command path ----------------------------------------------------------
+
+std::future<appvm::Response> Server::submit(std::uint64_t session,
+                                            const std::string& line) {
+  const auto reject = [](appvm::Response response) {
+    std::promise<appvm::Response> done;
+    done.set_value(std::move(response));
+    return done.get_future();
+  };
+
+  std::lock_guard lock(mutex_);
+  if (!accepting_)
+    return reject({false, "server is shutting down",
+                   appvm::Response::FailureKind::Overloaded});
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second->closing)
+    return reject({false, "no such session " + std::to_string(session),
+                   appvm::Response::FailureKind::Other});
+  const std::shared_ptr<SessionState>& state = it->second;
+  if (queued_ >= options_.queue_capacity) {
+    stats_.rejected_overload += 1;
+    return reject({false,
+                   "server queue is full (" + std::to_string(queued_) +
+                       " requests pending)",
+                   appvm::Response::FailureKind::Overloaded});
+  }
+  const Admit admit = admission_.admit_request(state->tenant);
+  if (admit != Admit::Ok) {
+    stats_.rejected_quota += 1;
+    return reject({false,
+                   "tenant '" + state->tenant + "' over quota: " +
+                       std::string(admit_name(admit)),
+                   appvm::Response::FailureKind::QuotaExceeded});
+  }
+
+  Request request;
+  request.line = line;
+  auto future = request.done.get_future();
+  state->fifo.push_back(std::move(request));
+  queued_ += 1;
+  stats_.submitted += 1;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queued_);
+  enqueue_locked(state);
+  return future;
+}
+
+appvm::Response Server::call(std::uint64_t session, const std::string& line) {
+  return submit(session, line).get();
+}
+
+appvm::Response Server::call_with_retry(std::uint64_t session,
+                                        const std::string& line) {
+  // Retry from the caller's side of the queue: a rejected or conflicted
+  // request backs off here and re-enters admission, instead of a worker
+  // sleeping through the backoff with a pool slot held.
+  db::RetrySchedule schedule(options_.retry_policy);
+  for (;;) {
+    appvm::Response response = call(session, line);
+    if (response.ok || !appvm::Response::retryable(response.kind))
+      return response;
+    const auto delay = schedule.next_delay();
+    if (!delay) return response;
+    if (delay->count() > 0) sleeper_(*delay);
+  }
+}
+
+// --- snapshot read path ----------------------------------------------------
+
+db::QueryResult Server::query(const db::QueryFilter& filter) const {
+  return engine_->query(filter);
+}
+
+std::vector<appvm::DatabaseVersionInfo> Server::history(
+    const std::string& name) const {
+  return database_.history(name);
+}
+
+// --- admin -----------------------------------------------------------------
+
+void Server::set_quota(const std::string& tenant, TenantQuota quota) {
+  admission_.set_quota(tenant, quota);
+}
+
+TenantStats Server::tenant_stats(const std::string& tenant) const {
+  return admission_.stats_for(tenant);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(mutex_);
+  ServerStats out = stats_;
+  out.open_sessions = sessions_.size();
+  out.queue_depth = queued_;
+  out.workers = pool_width_;
+  return out;
+}
+
+// --- worker pool -----------------------------------------------------------
+
+void Server::enqueue_locked(const std::shared_ptr<SessionState>& state) {
+  if (state->scheduled) return;  // already queued or owned by a worker
+  state->scheduled = true;
+  ready_.push_back(state);
+  ready_count_.fetch_add(1, std::memory_order_release);
+  ready_cv_.notify_one();
+}
+
+void Server::worker_main() {
+  for (;;) {
+    const std::shared_ptr<SessionState> state = next_ready();
+    if (!state) return;
+    process_one(state);
+  }
+}
+
+std::shared_ptr<Server::SessionState> Server::next_ready() {
+  // The host engine's pool shape: spin with yield for the common case of
+  // work arriving within a scheduling quantum, then park on the condition
+  // variable so an idle server burns no cycles.
+  for (std::size_t spin = 0; spin < options_.spin_iterations; ++spin) {
+    if (stop_.load(std::memory_order_acquire)) return nullptr;
+    if (ready_count_.load(std::memory_order_acquire) > 0) break;
+    std::this_thread::yield();
+  }
+  std::unique_lock lock(mutex_);
+  ready_cv_.wait(lock, [&] {
+    return stop_.load(std::memory_order_acquire) || !ready_.empty();
+  });
+  if (ready_.empty()) return nullptr;  // stopping
+  auto state = ready_.front();
+  ready_.pop_front();
+  ready_count_.fetch_sub(1, std::memory_order_release);
+  return state;
+}
+
+void Server::process_one(const std::shared_ptr<SessionState>& state) {
+  Request request;
+  {
+    std::lock_guard lock(mutex_);
+    if (state->fifo.empty()) {  // stale wakeup; nothing to run
+      state->scheduled = false;
+      drain_cv_.notify_all();
+      return;
+    }
+    request = std::move(state->fifo.front());
+    state->fifo.pop_front();
+  }
+
+  // The actor invariant makes this safe without locks: `scheduled` stays
+  // true from dequeue to requeue, so no other worker touches this
+  // session's interpreter or workspace concurrently.
+  appvm::Response response = state->session.execute(request.line);
+  request.done.set_value(std::move(response));
+  admission_.complete_request(state->tenant);
+
+  std::lock_guard lock(mutex_);
+  queued_ -= 1;
+  stats_.executed += 1;
+  if (!state->fifo.empty()) {
+    // More queued work: back of the ready line, still scheduled, so the
+    // session's commands stay in submission order.
+    ready_.push_back(state);
+    ready_count_.fetch_add(1, std::memory_order_release);
+    ready_cv_.notify_one();
+  } else {
+    state->scheduled = false;
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace fem2::serve

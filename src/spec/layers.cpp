@@ -30,10 +30,20 @@ stress        ::= { element: INT, sxx: REAL, syy: REAL, txy: REAL, vm: REAL }
 stresses      ::= { stress[*]: stress }
 results       ::= { displacements: displacements, stresses: stresses }
 
-workspace   ::= { user: STRING, model?: structure, results?: results,
-                  storage?: storage }
+workspace   ::= { user: STRING, tenant?: STRING, model?: structure,
+                  results?: results, storage?: storage,
+                  query?: queryresult }
 dbentry     ::= { name: STRING, kind: STRING, bytes: INT, revision: INT }
 database    ::= { entry[*]: dbentry }
+
+# Query layer: a predicate search over stored entries (kind / name prefix
+# / revision window) and its result set, as surfaced by the `query`
+# command and the serve front-end's snapshot read path.
+queryfilter ::= { kind: STRING, prefix: STRING, min_revision: INT,
+                  max_revision: INT, limit: INT }
+queryrow    ::= { name: STRING, kind: STRING, bytes: INT, revision: INT }
+queryresult ::= { filter: queryfilter, row[*]: queryrow, scanned: INT,
+                  truncated: INT, plan: STRING }
 
 # Abstract storage fragment: what layer 1 demands of the database engine
 # beneath it.  The composites are open (`...`) — any concrete engine state
@@ -67,7 +77,15 @@ txn       ::= { id: INT, writes: INT }
 walstate  ::= { records: INT, bytes: INT }
 dbstats   ::= { commits: INT, aborts: INT, conflicts: INT,
                 checkpoints: INT, recovered: INT }
+
+# Secondary-index summary (kind buckets and revision entries over live
+# heads) and the group-commit window state (batched WAL fsync).  Both are
+# optional: a classic engine with group commit off reflects neither.
+dbindex   ::= { kinds: INT, entries: INT }
+gcstate   ::= { window_us: INT, max_batch: INT, batches: INT,
+                batched: INT, max_seen: INT, pending: INT }
 dbengine  ::= { mode: STRING, wal: walstate, stats: dbstats,
+                index?: dbindex, groupcommit?: gcstate,
                 chain[*]: chain, txn[*]: txn }
 )";
 }

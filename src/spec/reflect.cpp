@@ -112,6 +112,8 @@ hgraph::NodeId reflect_results(HGraph& g, const fem::AnalysisResult& results) {
 hgraph::NodeId reflect_workspace(HGraph& g, const appvm::Session& session) {
   const NodeId root = g.add_node();
   g.add_arc(root, "user", str_node(g, session.user()));
+  if (!session.tenant().empty())
+    g.add_arc(root, "tenant", str_node(g, session.tenant()));
   if (session.workspace().has_model())
     g.add_arc(root, "model", reflect_model(g, session.workspace().model()));
   if (session.workspace().has_results())
@@ -133,6 +135,39 @@ hgraph::NodeId reflect_database(HGraph& g, const appvm::Database& database) {
               int_node(g, static_cast<std::int64_t>(entries[i].revision)));
     g.add_arc(root, indexed("entry", i), n);
   }
+  return root;
+}
+
+hgraph::NodeId reflect_query_result(HGraph& g, const db::QueryFilter& filter,
+                                    const db::QueryResult& result) {
+  const NodeId root = g.add_node();
+
+  const NodeId f = g.add_node();
+  g.add_arc(f, "kind", str_node(g, filter.kind));
+  g.add_arc(f, "prefix", str_node(g, filter.name_prefix));
+  g.add_arc(f, "min_revision",
+            int_node(g, static_cast<std::int64_t>(filter.min_revision)));
+  g.add_arc(f, "max_revision",
+            int_node(g, filter.max_revision == db::kAnyRevision
+                            ? -1
+                            : static_cast<std::int64_t>(filter.max_revision)));
+  g.add_arc(f, "limit", int_node(g, static_cast<std::int64_t>(filter.limit)));
+  g.add_arc(root, "filter", f);
+
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const auto& row = result.rows[i];
+    const NodeId n = g.add_node();
+    g.add_arc(n, "name", str_node(g, row.name));
+    g.add_arc(n, "kind", str_node(g, row.kind));
+    g.add_arc(n, "bytes", int_node(g, static_cast<std::int64_t>(row.bytes)));
+    g.add_arc(n, "revision",
+              int_node(g, static_cast<std::int64_t>(row.revision)));
+    g.add_arc(root, indexed("row", i), n);
+  }
+  g.add_arc(root, "scanned",
+            int_node(g, static_cast<std::int64_t>(result.scanned)));
+  g.add_arc(root, "truncated", int_node(g, result.truncated ? 1 : 0));
+  g.add_arc(root, "plan", str_node(g, result.plan));
   return root;
 }
 
@@ -164,6 +199,38 @@ hgraph::NodeId reflect_db_engine(HGraph& g, const db::Engine& engine) {
             int_node(g,
                      static_cast<std::int64_t>(state.stats.recovered_txns)));
   g.add_arc(root, "stats", stats);
+
+  if (state.index_kinds > 0 || state.index_entries > 0) {
+    const NodeId idx = g.add_node();
+    g.add_arc(idx, "kinds",
+              int_node(g, static_cast<std::int64_t>(state.index_kinds)));
+    g.add_arc(idx, "entries",
+              int_node(g, static_cast<std::int64_t>(state.index_entries)));
+    g.add_arc(root, "index", idx);
+  }
+
+  const auto& options = engine.options();
+  if (options.group_commit_window.count() > 0) {
+    const NodeId gc = g.add_node();
+    g.add_arc(gc, "window_us",
+              int_node(g, static_cast<std::int64_t>(
+                              options.group_commit_window.count())));
+    g.add_arc(gc, "max_batch",
+              int_node(g, static_cast<std::int64_t>(
+                              options.group_commit_max_batch)));
+    g.add_arc(gc, "batches",
+              int_node(g,
+                       static_cast<std::int64_t>(state.stats.group_batches)));
+    g.add_arc(gc, "batched",
+              int_node(g, static_cast<std::int64_t>(
+                              state.stats.group_batched_txns)));
+    g.add_arc(gc, "max_seen",
+              int_node(g,
+                       static_cast<std::int64_t>(state.stats.group_max_batch)));
+    g.add_arc(gc, "pending",
+              int_node(g, static_cast<std::int64_t>(state.pending_heads)));
+    g.add_arc(root, "groupcommit", gc);
+  }
 
   for (std::size_t i = 0; i < state.chains.size(); ++i) {
     const auto& chain = state.chains[i];

@@ -5,6 +5,7 @@
 
 #include "appvm/command.hpp"
 #include "db/engine.hpp"
+#include "db/query.hpp"
 #include "fem/model.hpp"
 #include "hgraph/hgraph.hpp"
 #include "hw/machine.hpp"
@@ -24,6 +25,9 @@ hgraph::NodeId reflect_workspace(hgraph::HGraph& g,
                                  const appvm::Session& session);
 hgraph::NodeId reflect_database(hgraph::HGraph& g,
                                 const appvm::Database& database);
+hgraph::NodeId reflect_query_result(hgraph::HGraph& g,
+                                    const db::QueryFilter& filter,
+                                    const db::QueryResult& result);
 
 // --- layer 1b: the database engine (fem2-db) -----------------------------
 hgraph::NodeId reflect_db_engine(hgraph::HGraph& g, const db::Engine& engine);

@@ -539,6 +539,76 @@ TEST(Session, ExecuteWithRetryResolvesRacesViaHead) {
   EXPECT_TRUE(slept.empty());
 }
 
+TEST(Session, TenantDefaultsEmptyAndIsRecorded) {
+  Database db;
+  Session plain(db);
+  EXPECT_TRUE(plain.tenant().empty());
+  Session scoped(db, "alice", "acme");
+  EXPECT_EQ(scoped.user(), "alice");
+  EXPECT_EQ(scoped.tenant(), "acme");
+}
+
+TEST(Session, RetryableClassificationCoversServerKinds) {
+  // The shared contract between execute_with_retry and the serve layer's
+  // call_with_retry: which failures are worth another attempt.
+  EXPECT_TRUE(Response::retryable(Response::FailureKind::Conflict));
+  EXPECT_TRUE(Response::retryable(Response::FailureKind::TransientIo));
+  EXPECT_TRUE(Response::retryable(Response::FailureKind::QuotaExceeded));
+  EXPECT_TRUE(Response::retryable(Response::FailureKind::Overloaded));
+  EXPECT_FALSE(Response::retryable(Response::FailureKind::None));
+  EXPECT_FALSE(Response::retryable(Response::FailureKind::Degraded));
+  EXPECT_FALSE(Response::retryable(Response::FailureKind::Other));
+}
+
+TEST(Session, QueryVerbFiltersAndReportsPlan) {
+  Database db;
+  Session session(db);
+  session.execute("mesh truss bays=2 load=100");
+  session.execute("store bridge");
+  session.execute("store bridge-deck");
+  session.execute("store bridge");  // rev 2
+  ASSERT_TRUE(session.execute("solve deck").ok);
+  ASSERT_TRUE(session.execute("store results bridge-results").ok);
+
+  const auto all = session.execute("query");
+  ASSERT_TRUE(all.ok) << all.text;
+  EXPECT_NE(all.text.find("3 rows"), std::string::npos) << all.text;
+  EXPECT_NE(all.text.find("plan scan"), std::string::npos) << all.text;
+
+  const auto by_kind = session.execute("query kind=model");
+  ASSERT_TRUE(by_kind.ok);
+  EXPECT_NE(by_kind.text.find("2 rows"), std::string::npos) << by_kind.text;
+  EXPECT_NE(by_kind.text.find("plan kind-index"), std::string::npos);
+
+  const auto by_prefix = session.execute("query prefix=bridge-");
+  ASSERT_TRUE(by_prefix.ok);
+  EXPECT_NE(by_prefix.text.find("2 rows"), std::string::npos)
+      << by_prefix.text;
+  EXPECT_NE(by_prefix.text.find("plan name-range"), std::string::npos);
+
+  const auto by_revision = session.execute("query min-rev=2");
+  ASSERT_TRUE(by_revision.ok);
+  EXPECT_NE(by_revision.text.find("'bridge' rev 2"), std::string::npos)
+      << by_revision.text;
+  EXPECT_NE(by_revision.text.find("plan revision-index"), std::string::npos);
+
+  const auto limited = session.execute("query limit=1");
+  ASSERT_TRUE(limited.ok);
+  EXPECT_NE(limited.text.find("1 row "), std::string::npos) << limited.text;
+  EXPECT_NE(limited.text.find("truncated by limit"), std::string::npos);
+}
+
+TEST(Session, QueryVerbRejectsUnknownOptions) {
+  Database db;
+  Session session(db);
+  const auto bad_key = session.execute("query color=red");
+  EXPECT_FALSE(bad_key.ok);
+  EXPECT_NE(bad_key.text.find("unknown query option"), std::string::npos);
+  const auto no_eq = session.execute("query bridge");
+  EXPECT_FALSE(no_eq.ok);
+  EXPECT_NE(no_eq.text.find("usage:"), std::string::npos);
+}
+
 TEST(Workspace, StorageAccounting) {
   Database db;
   Session session(db);

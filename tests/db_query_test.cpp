@@ -1,0 +1,241 @@
+// Query-layer tests: the planner contract from db/query.hpp.  Whatever
+// access path serves a filter — revision index, name range, kind bucket
+// or full scan — the result set must be identical to brute-force
+// filtering of the directory, the chosen plan must be observable, and
+// the secondary indexes must survive erases, history trimming and
+// recovery (they are rebuilt, not logged).
+#include <algorithm>
+#include <tuple>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/engine.hpp"
+#include "db/query.hpp"
+
+namespace fs = std::filesystem;
+using namespace fem2;
+
+namespace {
+
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path(fs::path(::testing::TempDir()) / ("fem2_query_" + tag)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+  std::string str() const { return path.string(); }
+};
+
+/// Brute-force reference: filter the full directory listing.
+std::vector<db::EntryInfo> reference_rows(const db::Engine& engine,
+                                          const db::QueryFilter& filter) {
+  std::vector<db::EntryInfo> rows;
+  for (const auto& entry : engine.list()) {
+    if (!filter.kind.empty() && entry.kind != filter.kind) continue;
+    if (!filter.name_prefix.empty() &&
+        entry.name.compare(0, filter.name_prefix.size(),
+                           filter.name_prefix) != 0)
+      continue;
+    if (entry.revision < filter.min_revision) continue;
+    if (entry.revision > filter.max_revision) continue;
+    rows.push_back(entry);
+  }
+  return rows;
+}
+
+std::vector<std::string> names_of(const std::vector<db::EntryInfo>& rows) {
+  std::vector<std::string> names;
+  for (const auto& row : rows) names.push_back(row.name);
+  return names;
+}
+
+using RowTuple = std::tuple<std::string, std::string, std::size_t,
+                            std::uint64_t>;
+
+std::vector<RowTuple> as_tuples(std::vector<db::EntryInfo> rows,
+                                bool sort_by_name = false) {
+  if (sort_by_name) {
+    std::sort(rows.begin(), rows.end(),
+              [](const db::EntryInfo& a, const db::EntryInfo& b) {
+                return a.name < b.name;
+              });
+  }
+  std::vector<RowTuple> out;
+  for (const auto& row : rows)
+    out.emplace_back(row.name, row.kind, row.bytes, row.revision);
+  return out;
+}
+
+void seed_engine(db::Engine& engine) {
+  engine.put("bridge", "model", "m1");        // rev 1
+  engine.put("bridge-deck", "model", "m2");   // rev 1
+  engine.put("bridge", "model", "m3", 1);     // rev 2
+  engine.put("mast", "results", "r1");        // rev 1
+  engine.put("mast", "results", "r2", 1);     // rev 2
+  engine.put("mast", "results", "r3", 2);     // rev 3
+  engine.put("panel", "model", "m4");         // rev 1
+  engine.put("zz-scratch", "notes", "n1");    // rev 1
+}
+
+}  // namespace
+
+TEST(Query, EmptyFilterScansEverything) {
+  db::Engine engine;
+  seed_engine(engine);
+  const auto result = engine.query({});
+  EXPECT_EQ(result.plan, "scan");
+  EXPECT_EQ(result.rows.size(), engine.size());
+  EXPECT_EQ(result.scanned, engine.size());
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(engine.stats().queries, 1u);
+}
+
+TEST(Query, KindFilterUsesKindIndex) {
+  db::Engine engine;
+  seed_engine(engine);
+  db::QueryFilter filter;
+  filter.kind = "model";
+  const auto result = engine.query(filter);
+  EXPECT_EQ(result.plan, "kind-index");
+  EXPECT_EQ(names_of(result.rows),
+            (std::vector<std::string>{"bridge", "bridge-deck", "panel"}));
+  // The bucket held exactly the candidates: no off-index scanning.
+  EXPECT_EQ(result.scanned, 3u);
+  EXPECT_EQ(as_tuples(result.rows),
+            as_tuples(reference_rows(engine, filter)));
+}
+
+TEST(Query, PrefixFilterUsesNameRange) {
+  db::Engine engine;
+  seed_engine(engine);
+  db::QueryFilter filter;
+  filter.name_prefix = "bridge";
+  const auto result = engine.query(filter);
+  EXPECT_EQ(result.plan, "name-range");
+  EXPECT_EQ(names_of(result.rows),
+            (std::vector<std::string>{"bridge", "bridge-deck"}));
+  EXPECT_EQ(as_tuples(result.rows),
+            as_tuples(reference_rows(engine, filter)));
+}
+
+TEST(Query, RevisionWindowUsesRevisionIndex) {
+  db::Engine engine;
+  seed_engine(engine);
+  db::QueryFilter filter;
+  filter.min_revision = 2;
+  const auto result = engine.query(filter);
+  EXPECT_EQ(result.plan, "revision-index");
+  // Revision-index rows arrive in ascending revision order.
+  EXPECT_EQ(names_of(result.rows),
+            (std::vector<std::string>{"bridge", "mast"}));
+  EXPECT_EQ(as_tuples(result.rows, /*sort_by_name=*/true),
+            as_tuples(reference_rows(engine, filter), /*sort_by_name=*/true));
+}
+
+TEST(Query, PredicatesComposeAcrossPaths) {
+  db::Engine engine;
+  seed_engine(engine);
+  // kind + prefix + revision window: whichever index serves, every
+  // predicate is still enforced per candidate.
+  db::QueryFilter filter;
+  filter.kind = "model";
+  filter.name_prefix = "bridge";
+  filter.min_revision = 2;
+  filter.max_revision = 2;
+  const auto result = engine.query(filter);
+  EXPECT_EQ(names_of(result.rows), (std::vector<std::string>{"bridge"}));
+  EXPECT_EQ(result.rows.front().revision, 2u);
+  EXPECT_EQ(as_tuples(result.rows),
+            as_tuples(reference_rows(engine, filter)));
+}
+
+TEST(Query, LimitTruncatesAndSaysSo) {
+  db::Engine engine;
+  seed_engine(engine);
+  db::QueryFilter filter;
+  filter.limit = 2;
+  const auto result = engine.query(filter);
+  EXPECT_EQ(result.rows.size(), 2u);
+  EXPECT_TRUE(result.truncated);
+
+  filter.limit = 100;
+  const auto all = engine.query(filter);
+  EXPECT_EQ(all.rows.size(), engine.size());
+  EXPECT_FALSE(all.truncated);
+}
+
+TEST(Query, ErasedObjectsLeaveTheIndexes) {
+  db::Engine engine;
+  seed_engine(engine);
+  engine.erase("panel");
+  engine.erase("mast");
+
+  db::QueryFilter by_kind;
+  by_kind.kind = "model";
+  EXPECT_EQ(names_of(engine.query(by_kind).rows),
+            (std::vector<std::string>{"bridge", "bridge-deck"}));
+  by_kind.kind = "results";
+  EXPECT_TRUE(engine.query(by_kind).rows.empty());
+
+  db::QueryFilter by_revision;
+  by_revision.min_revision = 3;  // mast's rev-3 head is gone
+  EXPECT_TRUE(engine.query(by_revision).rows.empty());
+
+  // Re-creating after an erase re-enters both indexes.
+  engine.put("panel", "model", "back", 0);
+  by_kind.kind = "model";
+  EXPECT_EQ(names_of(engine.query(by_kind).rows),
+            (std::vector<std::string>{"bridge", "bridge-deck", "panel"}));
+}
+
+TEST(Query, IndexesRebuildAcrossRecovery) {
+  TempDir dir("rebuild");
+  db::EngineOptions options;
+  options.directory = dir.str();
+  db::QueryFilter by_kind;
+  by_kind.kind = "model";
+  db::QueryFilter by_revision;
+  by_revision.min_revision = 2;
+
+  std::vector<std::string> kind_names;
+  std::vector<std::string> revision_names;
+  {
+    db::Engine engine(options);
+    seed_engine(engine);
+    engine.erase("zz-scratch");
+    engine.checkpoint();              // part of the state arrives via
+    engine.put("late", "model", "after-snapshot");  // snapshot, part via log
+    kind_names = names_of(engine.query(by_kind).rows);
+    revision_names = names_of(engine.query(by_revision).rows);
+  }
+  db::Engine reopened(options);
+  EXPECT_EQ(names_of(reopened.query(by_kind).rows), kind_names);
+  EXPECT_EQ(names_of(reopened.query(by_revision).rows), revision_names);
+  const auto state = reopened.state();
+  EXPECT_GT(state.index_kinds, 0u);
+  EXPECT_EQ(state.index_entries, reopened.size());
+}
+
+TEST(Query, TransactionalWritesMaintainIndexes) {
+  db::Engine engine;
+  const auto txn = engine.begin();
+  engine.put(txn, "a", "model", "v");
+  engine.put(txn, "b", "results", "v");
+  engine.commit(txn);
+
+  db::QueryFilter filter;
+  filter.kind = "results";
+  EXPECT_EQ(names_of(engine.query(filter).rows),
+            (std::vector<std::string>{"b"}));
+
+  // An aborted transaction must leave no index trace.
+  const auto aborted = engine.begin();
+  engine.put(aborted, "c", "results", "gone");
+  engine.abort(aborted);
+  EXPECT_EQ(engine.query(filter).rows.size(), 1u);
+}

@@ -107,6 +107,53 @@ TEST(Layer1, ResultsAndWorkspaceAndDatabaseConform) {
   EXPECT_TRUE(grammar.conforms(g2, dbn, "database"));
 }
 
+TEST(Layer1, TenantScopedWorkspaceAndQueryResultConform) {
+  const auto grammar = appvm_grammar();
+
+  appvm::Database db;
+  appvm::Session session(db, "spec-tester", "acme");
+  session.execute("mesh truss bays=2 load=50");
+  session.execute("store bridge");
+  session.execute("store bridge-deck");
+
+  hgraph::HGraph g;
+  const auto ws = reflect_workspace(g, session);
+  const auto ws_check = grammar.conforms(g, ws, "workspace");
+  EXPECT_TRUE(ws_check) << ws_check.error;
+  EXPECT_TRUE(g.follow_path(ws, {"tenant"}).valid());
+
+  db::QueryFilter filter;
+  filter.name_prefix = "bridge";
+  filter.limit = 1;
+  const auto result = db.query(filter);
+  const auto qr = reflect_query_result(g, filter, result);
+  const auto qr_check = grammar.conforms(g, qr, "queryresult");
+  EXPECT_TRUE(qr_check) << qr_check.error;
+}
+
+TEST(Layer1b, GroupCommitAndIndexStateConform) {
+  const auto grammar = db_grammar();
+  db::EngineOptions options;
+  options.group_commit_window = std::chrono::microseconds(500);
+  db::Engine engine(options);
+  engine.put("bridge", "model", "payload");
+  engine.put("mast", "results", "payload");
+
+  hgraph::HGraph g;
+  const auto root = reflect_db_engine(g, engine);
+  const auto check = grammar.conforms(g, root, "dbengine");
+  EXPECT_TRUE(check) << check.error;
+  // The optional summaries are present for this engine...
+  EXPECT_TRUE(g.follow_path(root, {"index"}).valid());
+  EXPECT_TRUE(g.follow_path(root, {"groupcommit"}).valid());
+  // ...and absent for a classic engine, which must conform as before.
+  db::Engine classic;
+  hgraph::HGraph g2;
+  const auto classic_root = reflect_db_engine(g2, classic);
+  EXPECT_TRUE(grammar.conforms(g2, classic_root, "dbengine"));
+  EXPECT_FALSE(g2.follow_path(classic_root, {"groupcommit"}).valid());
+}
+
 TEST(Layer2, WindowsAndTaskSystemConform) {
   const auto grammar = navm_grammar();
   hgraph::HGraph g;

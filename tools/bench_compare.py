@@ -14,8 +14,10 @@ Policy, matching the determinism story of the simulator:
     25%) against the baseline FAILS the run; improvements are reported.
   * host-side metrics ("ms", "commits/s") are hardware-dependent — they
     only WARN, never fail.
-  * metrics missing from the baseline (new benches / new rows) are
-    reported and pass; run with --update to rewrite the baseline.
+  * missing metrics WARN in both directions: a current metric absent
+    from the baseline (new bench / new row — run --update to adopt it)
+    and a baseline metric absent from the current reports (a bench
+    silently stopped emitting it, which is how coverage rots).
 
 Exit code 0 = ok (possibly with warnings), 1 = at least one failure.
 """
@@ -60,10 +62,17 @@ def compare(reports: dict[str, dict], baseline: dict[str, dict],
             print(f"note  {experiment}: no baseline entry (new experiment)")
             continue
         base_rows = rows_by_metric(base)
-        for metric, row in rows_by_metric(report).items():
+        current_rows = rows_by_metric(report)
+        for metric in sorted(base_rows.keys() - current_rows.keys()):
+            print(f"warn  {experiment}/{metric}: in baseline but missing "
+                  f"from the current report")
+            warnings += 1
+        for metric, row in current_rows.items():
             base_row = base_rows.get(metric)
             if base_row is None:
-                print(f"note  {experiment}/{metric}: not in baseline")
+                print(f"warn  {experiment}/{metric}: not in baseline "
+                      f"(new metric; adopt with --update)")
+                warnings += 1
                 continue
             old, new = base_row["value"], row["value"]
             if old == 0:
@@ -82,6 +91,9 @@ def compare(reports: dict[str, dict], baseline: dict[str, dict],
             elif ratio < 1.0 - threshold:
                 print(f"note  {experiment}/{metric}: {old:g} -> {new:g} "
                       f"{unit} ({100 * (ratio - 1):.1f}%, improvement)")
+    for experiment in sorted(baseline.keys() - reports.keys()):
+        print(f"warn  {experiment}: in baseline but no current report")
+        warnings += 1
     return failures, warnings
 
 
