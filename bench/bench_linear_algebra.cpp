@@ -203,6 +203,49 @@ void matvec_sweep() {
   table.print(std::cout);
 }
 
+void csr_kernel_sweep() {
+  // Host-side CSR kernels behind the fast solve path (E15): spmv_rows over
+  // row partitions must be bitwise identical to the whole-matrix product at
+  // every lane count, because the host backend calls it per lane without
+  // locking.  Reported metrics are structural (nnz-derived), so they are
+  // deterministic and gated by the baseline.
+  const auto model = bench::cantilever_sheet(bench::smoke() ? 24u : 48u, 12);
+  const auto system = fem::assemble(model);
+  const auto& a = system.stiffness;
+  const std::size_t n = a.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = static_cast<double>(i % 101) / 101.0 - 0.5;
+  const la::Vector reference = a.multiply(x);
+
+  support::Table table("Host CSR spmv_rows partition (stiffness sheet)");
+  table.set_header({"lanes", "rows / lane", "flop / row", "bitwise"});
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    la::Vector y(n, 0.0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t r0 = navm::block_begin(n, lanes, lane);
+      const std::size_t r1 = navm::block_begin(n, lanes, lane + 1);
+      la::spmv_rows(a.row_ptr(), a.col_idx(), a.values(), x, r0, r1,
+                    std::span<double>(y).subspan(r0, r1 - r0));
+    }
+    bool bitwise = true;
+    for (std::size_t i = 0; i < n; ++i)
+      bitwise = bitwise && y[i] == reference[i];
+    FEM2_CHECK_MSG(bitwise, "spmv_rows partition diverged from multiply()");
+    table.row()
+        .cell(static_cast<std::uint64_t>(lanes))
+        .cell(static_cast<std::uint64_t>((n + lanes - 1) / lanes))
+        .cell(2.0 * static_cast<double>(a.nonzeros()) /
+                  static_cast<double>(n),
+              1)
+        .cell("yes");
+  }
+  table.print(std::cout);
+  bench::note("csr_spmv_nnz", static_cast<double>(a.nonzeros()), "nnz");
+  bench::note("csr_storage_bytes", static_cast<double>(a.storage_bytes()),
+              "bytes");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +258,8 @@ int main(int argc, char** argv) {
   axpy_sweep();
   std::cout << "\n";
   matvec_sweep();
+  std::cout << "\n";
+  csr_kernel_sweep();
   std::cout << "\nShape check: throughput rises with workers until window "
                "traffic dominates;\ncollector reduction trades "
                "terminate-notify messages for remote-call\ndeposits with "

@@ -1,7 +1,15 @@
 // Global system assembly: dof numbering, element merge, constraint
 // elimination, and load-set vectors.
+//
+// Assembly is split symbolic/numeric (MiniFE-style): build_assembly_plan
+// walks the mesh once to produce the reduced sparsity pattern and flat
+// per-element scatter maps; assemble_numeric then fills values through
+// the plan with no searching or reallocation.  Re-assembling on the same
+// mesh (load stepping, material updates) reuses the plan.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +36,10 @@ struct DofMap {
   }
 };
 
+/// Builds the full↔reduced dof mapping.  Duplicate constraints on the
+/// same (node, dof) are deduplicated; duplicates that prescribe
+/// *different* values throw support::Error (a silently-last-wins merge
+/// used to let one of two conflicting scenes win by file order).
 DofMap build_dof_map(const StructureModel& model);
 
 /// Reduced stiffness system K_ff plus the K_fc·u_c correction needed when
@@ -45,6 +57,42 @@ struct AssembledSystem {
   Displacements expand(std::span<const double> reduced) const;
 };
 
+/// Symbolic half of assembly: reduced sparsity pattern from element
+/// connectivity (structural nonzeros; exact numeric zeros are kept so the
+/// pattern is value-independent).
+std::shared_ptr<const la::SparsityPattern> build_sparsity_pattern(
+    const StructureModel& model, const DofMap& dofs);
+
+/// Precomputed scatter maps: where each element-matrix entry lands in the
+/// CSR value array (or, for constrained columns, which rhs row it corrects
+/// and with what prescribed value).
+struct AssemblyPlan {
+  DofMap dofs;
+  std::shared_ptr<const la::SparsityPattern> pattern;
+
+  struct MatrixScatter {
+    std::uint32_t local;  ///< r * n + c into the element matrix (row-major)
+    std::size_t offset;   ///< destination in the CSR value array
+  };
+  struct RhsScatter {
+    std::uint32_t local;
+    std::size_t row;      ///< reduced rhs row
+    double coeff;         ///< prescribed value u_c of the constrained column
+  };
+  std::vector<std::size_t> matrix_begin;  ///< per element, size elements + 1
+  std::vector<MatrixScatter> matrix;
+  std::vector<std::size_t> rhs_begin;     ///< per element, size elements + 1
+  std::vector<RhsScatter> rhs;
+};
+
+AssemblyPlan build_assembly_plan(const StructureModel& model);
+
+/// Numeric half: element stiffnesses scattered through the plan.  The
+/// result shares the plan's pattern (no index copies).
+AssembledSystem assemble_numeric(const StructureModel& model,
+                                 const AssemblyPlan& plan);
+
+/// One-shot assembly: symbolic plan + numeric fill.
 AssembledSystem assemble(const StructureModel& model);
 
 /// Assembly cost model used by the simulated parallel pipeline: floating

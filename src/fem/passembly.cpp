@@ -228,26 +228,32 @@ AssembledSystem assemble_parallel(const StructureModel& model,
                  "parallel assembly did not complete");
   const auto& merged = runtime.result(task).as<AssembledPayload>();
 
-  // Constraint elimination on the host (identical to fem::assemble).
+  // Constraint elimination on the host, filling through the symbolic
+  // pattern (identical to fem::assemble: same accumulation order, so the
+  // result is bitwise equal to the serial path — workers only skip exact
+  // zeros, which cannot change a sum).
   AssembledSystem system;
   system.dofs = build_dof_map(model);
   const DofMap& map = system.dofs;
-  la::TripletBuilder builder(map.free_dofs, map.free_dofs);
+  const auto pattern = build_sparsity_pattern(model, map);
+  std::vector<double> values(pattern->nonzeros(), 0.0);
   system.rhs_correction.assign(map.free_dofs, 0.0);
   for (const auto& t : merged.triplets) {
     const std::ptrdiff_t rr = map.full_to_reduced[t.row];
     if (rr < 0) continue;
     const std::ptrdiff_t rc = map.full_to_reduced[t.col];
     if (rc >= 0) {
-      builder.add(static_cast<std::size_t>(rr),
-                  static_cast<std::size_t>(rc), t.value);
+      const std::size_t k = pattern->find(static_cast<std::size_t>(rr),
+                                          static_cast<std::size_t>(rc));
+      FEM2_CHECK(k != la::SparsityPattern::npos);
+      values[k] += t.value;
     } else {
       const double uc = map.prescribed[t.col];
       if (uc != 0.0)
         system.rhs_correction[static_cast<std::size_t>(rr)] += t.value * uc;
     }
   }
-  system.stiffness = builder.build();
+  system.stiffness = la::CsrMatrix(std::move(pattern), std::move(values));
 
   if (stats != nullptr) {
     stats->workers = workers;

@@ -1,5 +1,8 @@
 #include "fem/solver.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "la/skyline.hpp"
 #include "navm/parops.hpp"
 
@@ -11,6 +14,7 @@ std::string_view solver_kind_name(SolverKind k) {
     case SolverKind::DenseCholesky: return "dense-cholesky";
     case SolverKind::ConjugateGradient: return "cg";
     case SolverKind::PreconditionedCg: return "pcg-jacobi";
+    case SolverKind::TwoLevelCg: return "pcg-two-level";
     case SolverKind::GaussSeidel: return "gauss-seidel";
     case SolverKind::Sor: return "sor";
     case SolverKind::Jacobi: return "jacobi";
@@ -53,9 +57,34 @@ StaticSolution solve_reduced(const AssembledSystem& system,
       break;
     }
     case SolverKind::ConjugateGradient:
-    case SolverKind::PreconditionedCg: {
+    case SolverKind::PreconditionedCg:
+    case SolverKind::TwoLevelCg: {
       iter.jacobi_preconditioner =
           options.kind == SolverKind::PreconditionedCg;
+      std::unique_ptr<la::TwoLevelPreconditioner> two_level;
+      if (options.kind == SolverKind::TwoLevelCg) {
+        la::TwoLevelOptions tl = options.two_level;
+        if (tl.aggregate_of.empty()) {
+          // Mesh-aware aggregation: contiguous node blocks with one
+          // aggregate per displacement component, so the coarse space
+          // spans per-block translations in every direction.  Mixing
+          // components in one aggregate (plain index blocks) cancels
+          // opposite-signed x/y residuals and weakens the coarse solve.
+          const std::size_t ndof = system.dofs.dofs_per_node;
+          const std::size_t nodes = system.dofs.full_dofs / ndof;
+          const std::size_t blocks = std::max<std::size_t>(
+              1, tl.coarse_dofs / std::max<std::size_t>(1, ndof));
+          const std::size_t block_nodes = (nodes + blocks - 1) / blocks;
+          tl.aggregate_of.resize(k.rows());
+          for (std::size_t r = 0; r < k.rows(); ++r) {
+            const std::size_t full = system.dofs.reduced_to_full[r];
+            tl.aggregate_of[r] =
+                (full / ndof / block_nodes) * ndof + full % ndof;
+          }
+        }
+        two_level = std::make_unique<la::TwoLevelPreconditioner>(k, tl);
+        iter.preconditioner = two_level.get();
+      }
       auto result = la::conjugate_gradient(k, rhs, iter);
       reduced = std::move(result.x);
       out.stats.converged = result.report.converged;
@@ -160,6 +189,7 @@ StaticSolution solve_static_parallel(const StructureModel& model,
   problem.workers = options.workers;
   problem.tolerance = options.tolerance;
   problem.max_iterations = options.max_iterations;
+  problem.jacobi_preconditioner = options.jacobi_preconditioner;
 
   const auto task = runtime.launch(navm::kCgDriverTask,
                                    navm::make_cg_problem(std::move(problem)));
@@ -170,7 +200,9 @@ StaticSolution solve_static_parallel(const StructureModel& model,
 
   StaticSolution out;
   out.displacements = system.expand(result.x);
-  out.stats.method = "fem2-distributed-cg";
+  out.stats.method = options.jacobi_preconditioner
+                         ? "fem2-distributed-pcg-jacobi"
+                         : "fem2-distributed-cg";
   out.stats.converged = result.converged;
   out.stats.iterations = result.iterations;
   out.stats.residual = result.residual;

@@ -9,6 +9,7 @@
 #include "fem/assembly.hpp"
 #include "fem/model.hpp"
 #include "la/iterative.hpp"
+#include "la/precond.hpp"
 #include "navm/runtime.hpp"
 
 namespace fem2::fem {
@@ -18,6 +19,7 @@ enum class SolverKind {
   DenseCholesky,
   ConjugateGradient,
   PreconditionedCg,  ///< Jacobi-preconditioned CG
+  TwoLevelCg,        ///< CG with the two-level (coarse-grid) preconditioner
   GaussSeidel,
   Sor,
   Jacobi,
@@ -30,6 +32,7 @@ struct SolverOptions {
   double tolerance = 1e-10;
   std::size_t max_iterations = 20'000;
   double sor_omega = 1.5;
+  la::TwoLevelOptions two_level{};  ///< used by SolverKind::TwoLevelCg
 };
 
 struct SolveStats {
@@ -65,6 +68,9 @@ struct ParallelSolveOptions {
   std::uint32_t workers = 4;
   double tolerance = 1e-10;
   std::size_t max_iterations = 20'000;
+  /// Jacobi-precondition the distributed CG (each worker scales its own
+  /// residual shard by the local inverse diagonal; no extra shipping).
+  bool jacobi_preconditioner = false;
 };
 
 /// Solve on the simulated FEM-2 machine: launches the distributed CG driver

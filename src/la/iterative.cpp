@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "la/precond.hpp"
 #include "support/check.hpp"
 
 namespace fem2::la {
@@ -30,21 +31,23 @@ SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
   const std::size_t n = a.rows();
 
   SolveResult out;
-  out.report.method = options.jacobi_preconditioner ? "pcg-jacobi" : "cg";
   out.x.assign(n, 0.0);
 
-  Vector inv_diag;
-  if (options.jacobi_preconditioner) {
-    inv_diag = a.diagonal();
-    for (double& d : inv_diag) {
-      FEM2_CHECK_MSG(d != 0.0, "zero diagonal with Jacobi preconditioner");
-      d = 1.0 / d;
-    }
+  // Explicit preconditioner wins; the jacobi_preconditioner flag is
+  // shorthand that builds one here.
+  std::unique_ptr<JacobiPreconditioner> owned_jacobi;
+  const Preconditioner* precond = options.preconditioner;
+  if (precond == nullptr && options.jacobi_preconditioner) {
+    owned_jacobi = std::make_unique<JacobiPreconditioner>(a);
+    precond = owned_jacobi.get();
   }
+  if (precond != nullptr) FEM2_CHECK(precond->size() == n);
+  out.report.method = precond ? "pcg-" + precond->name() : "cg";
+
   auto precondition = [&](const Vector& r) {
-    if (!options.jacobi_preconditioner) return r;
+    if (precond == nullptr) return r;
     Vector z(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag[i] * r[i];
+    precond->apply(r, z);
     return z;
   };
 
@@ -80,7 +83,7 @@ SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    xpay(z, beta, p);
   }
   out.report.iterations = options.max_iterations;
   out.report.residual_norm = norm2(r) / bnorm;

@@ -1,0 +1,101 @@
+#include "la/precond.hpp"
+
+#include <algorithm>
+
+#include "la/vec_ops.hpp"
+#include "support/check.hpp"
+
+namespace fem2::la {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  FEM2_CHECK(a.rows() == a.cols());
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    FEM2_CHECK_MSG(d != 0.0, "zero diagonal with Jacobi preconditioner");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  hadamard(inv_diag_, r, z);
+}
+
+TwoLevelPreconditioner::TwoLevelPreconditioner(const CsrMatrix& a,
+                                               const TwoLevelOptions& options)
+    : a_(a) {
+  FEM2_CHECK(a.rows() == a.cols());
+  FEM2_CHECK_MSG(options.smoothing_omega > 0.0,
+                 "two-level smoothing weight must be positive");
+  const std::size_t n = a.rows();
+  FEM2_CHECK(n > 0);
+  omega_ = options.smoothing_omega;
+
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    FEM2_CHECK_MSG(d != 0.0, "zero diagonal with two-level preconditioner");
+    d = 1.0 / d;
+  }
+
+  if (options.aggregate_of.empty()) {
+    // Piecewise-constant aggregation over contiguous index blocks.  Mesh
+    // dof numbering is spatially coherent, so contiguous blocks approximate
+    // geometric subdomains without needing mesh topology here.
+    const std::size_t target = std::clamp<std::size_t>(options.coarse_dofs, 1, n);
+    const std::size_t block = (n + target - 1) / target;
+    aggregate_of_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) aggregate_of_[i] = i / block;
+  } else {
+    FEM2_CHECK_MSG(options.aggregate_of.size() == n,
+                   "aggregate map size must equal matrix size");
+    aggregate_of_ = options.aggregate_of;
+  }
+  // Compact aggregate ids to 0..nc-1 (id order preserved) so every coarse
+  // row is non-empty — an empty aggregate would zero a diagonal of A_c.
+  {
+    std::vector<std::size_t> ids = aggregate_of_;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (std::size_t& a : aggregate_of_)
+      a = static_cast<std::size_t>(
+          std::lower_bound(ids.begin(), ids.end(), a) - ids.begin());
+  }
+  const std::size_t nc =
+      1 + *std::max_element(aggregate_of_.begin(), aggregate_of_.end());
+
+  // Galerkin coarse operator A_c = R A Rᵀ: one pass over the nonzeros.
+  DenseMatrix coarse(nc, nc);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t ar = aggregate_of_[r];
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      coarse(ar, aggregate_of_[col_idx[k]]) += values[k];
+  }
+  // Throws if A_c is not SPD (e.g. A itself was not).
+  coarse_ = std::make_unique<CholeskyFactorization>(coarse);
+}
+
+void TwoLevelPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
+  const std::size_t n = aggregate_of_.size();
+  FEM2_CHECK(r.size() == n && z.size() == n);
+
+  // Pre-smooth: z = ω D⁻¹ r.
+  for (std::size_t i = 0; i < n; ++i) z[i] = omega_ * inv_diag_[i] * r[i];
+
+  // Coarse correction on the smoothed residual: z += Rᵀ A_c⁻¹ R (r − A z).
+  Vector az = a_.multiply(z);
+  Vector rc(coarse_->size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) rc[aggregate_of_[i]] += r[i] - az[i];
+  const Vector xc = coarse_->solve(rc);
+  for (std::size_t i = 0; i < n; ++i) z[i] += xc[aggregate_of_[i]];
+
+  // Post-smooth with the same weight; the symmetric sandwich keeps M SPD.
+  az = a_.multiply(z);
+  for (std::size_t i = 0; i < n; ++i)
+    z[i] += omega_ * inv_diag_[i] * (r[i] - az[i]);
+}
+
+}  // namespace fem2::la

@@ -7,6 +7,62 @@
 
 namespace fem2::la {
 
+SparsityPattern::SparsityPattern(std::size_t rows, std::size_t cols,
+                                 std::vector<std::size_t> row_ptr,
+                                 std::vector<std::size_t> col_idx)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)) {
+  FEM2_CHECK(row_ptr_.size() == rows_ + 1);
+  FEM2_CHECK(row_ptr_.back() == col_idx_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    FEM2_CHECK(row_ptr_[r] <= row_ptr_[r + 1]);
+    for (std::size_t k = row_ptr_[r]; k + 1 < row_ptr_[r + 1]; ++k)
+      FEM2_CHECK(col_idx_[k] < col_idx_[k + 1]);
+    if (row_ptr_[r] < row_ptr_[r + 1])
+      FEM2_CHECK(col_idx_[row_ptr_[r + 1] - 1] < cols_);
+  }
+}
+
+SparsityPattern SparsityPattern::from_pairs(
+    std::size_t rows, std::size_t cols,
+    std::vector<std::pair<std::size_t, std::size_t>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
+  std::vector<std::size_t> col_idx;
+  col_idx.reserve(pairs.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_ptr[r] = col_idx.size();
+    while (i < pairs.size() && pairs[i].first == r) {
+      FEM2_CHECK(pairs[i].second < cols);
+      col_idx.push_back(pairs[i].second);
+      ++i;
+    }
+  }
+  FEM2_CHECK(i == pairs.size());  // no row index >= rows
+  row_ptr[rows] = col_idx.size();
+  return SparsityPattern(rows, cols, std::move(row_ptr), std::move(col_idx));
+}
+
+std::size_t SparsityPattern::find(std::size_t row, std::size_t col) const {
+  FEM2_CHECK(row < rows_ && col < cols_);
+  const auto begin =
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end =
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return npos;
+  return static_cast<std::size_t>(it - col_idx_.begin());
+}
+
+std::size_t SparsityPattern::storage_bytes() const {
+  return col_idx_.size() * sizeof(std::size_t) +
+         row_ptr_.size() * sizeof(std::size_t);
+}
+
 TripletBuilder::TripletBuilder(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols) {}
 
@@ -54,80 +110,158 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
                      std::vector<std::size_t> row_ptr,
                      std::vector<std::size_t> col_idx,
                      std::vector<double> values)
-    : rows_(rows),
-      cols_(cols),
-      row_ptr_(std::move(row_ptr)),
-      col_idx_(std::move(col_idx)),
+    : pattern_(std::make_shared<SparsityPattern>(
+          rows, cols, std::move(row_ptr), std::move(col_idx))),
       values_(std::move(values)) {
-  FEM2_CHECK(row_ptr_.size() == rows_ + 1);
-  FEM2_CHECK(col_idx_.size() == values_.size());
-  FEM2_CHECK(row_ptr_.back() == values_.size());
+  FEM2_CHECK(pattern_->nonzeros() == values_.size());
+}
+
+CsrMatrix::CsrMatrix(std::shared_ptr<const SparsityPattern> pattern,
+                     std::vector<double> values)
+    : pattern_(std::move(pattern)), values_(std::move(values)) {
+  FEM2_CHECK(pattern_ != nullptr);
+  FEM2_CHECK(pattern_->nonzeros() == values_.size());
 }
 
 Vector CsrMatrix::multiply(std::span<const double> x) const {
-  Vector y(rows_, 0.0);
-  multiply_rows(x, 0, rows_, y);
+  Vector y(rows(), 0.0);
+  multiply_rows(x, 0, rows(), y);
   return y;
 }
 
 void CsrMatrix::multiply_rows(std::span<const double> x, std::size_t row_begin,
                               std::size_t row_end, std::span<double> y) const {
-  FEM2_CHECK(x.size() == cols_);
-  FEM2_CHECK(row_begin <= row_end && row_end <= rows_);
-  FEM2_CHECK(y.size() >= row_end - row_begin);
-  for (std::size_t r = row_begin; r < row_end; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      acc += values_[k] * x[col_idx_[k]];
-    y[r - row_begin] = acc;
+  FEM2_CHECK(x.size() == cols());
+  FEM2_CHECK(row_begin <= row_end && row_end <= rows());
+  spmv_rows(pattern_->row_ptr(), pattern_->col_idx(), values_, x, row_begin,
+            row_end, y);
+}
+
+Vector CsrMatrix::multiply_transpose(std::span<const double> x) const {
+  FEM2_CHECK(x.size() == rows());
+  const auto row_ptr = pattern_->row_ptr();
+  const auto col_idx = pattern_->col_idx();
+  Vector y(cols(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      y[col_idx[k]] += values_[k] * xr;
   }
+  return y;
 }
 
 double CsrMatrix::value_at(std::size_t row, std::size_t col) const {
-  FEM2_CHECK(row < rows_ && col < cols_);
-  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
-  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
-  const auto it = std::lower_bound(begin, end, col);
-  if (it == end || *it != col) return 0.0;
-  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+  const std::size_t k = pattern_->find(row, col);
+  return k == SparsityPattern::npos ? 0.0 : values_[k];
 }
 
 Vector CsrMatrix::diagonal() const {
-  const std::size_t n = std::min(rows_, cols_);
+  const std::size_t n = std::min(rows(), cols());
   Vector d(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) d[i] = value_at(i, i);
   return d;
 }
 
 DenseMatrix CsrMatrix::to_dense() const {
-  DenseMatrix m(rows_, cols_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      m(r, col_idx_[k]) = values_[k];
+  const auto row_ptr = pattern_->row_ptr();
+  const auto col_idx = pattern_->col_idx();
+  DenseMatrix m(rows(), cols());
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      m(r, col_idx[k]) = values_[k];
   return m;
 }
 
 void CsrMatrix::row(std::size_t r, std::span<const std::size_t>& cols,
                     std::span<const double>& vals) const {
-  FEM2_CHECK(r < rows_);
-  const std::size_t begin = row_ptr_[r];
-  const std::size_t count = row_ptr_[r + 1] - begin;
-  cols = {col_idx_.data() + begin, count};
+  FEM2_CHECK(r < rows());
+  const auto row_ptr = pattern_->row_ptr();
+  const std::size_t begin = row_ptr[r];
+  const std::size_t count = row_ptr[r + 1] - begin;
+  cols = pattern_->col_idx().subspan(begin, count);
   vals = {values_.data() + begin, count};
 }
 
 bool CsrMatrix::is_symmetric(double tol) const {
-  if (rows_ != cols_) return false;
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      if (std::abs(values_[k] - value_at(col_idx_[k], r)) > tol) return false;
+  if (rows() != cols()) return false;
+  const auto row_ptr = pattern_->row_ptr();
+  const auto col_idx = pattern_->col_idx();
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      if (std::abs(values_[k] - value_at(col_idx[k], r)) > tol) return false;
   return true;
 }
 
 std::size_t CsrMatrix::storage_bytes() const {
   return values_.size() * sizeof(double) +
-         col_idx_.size() * sizeof(std::size_t) +
-         row_ptr_.size() * sizeof(std::size_t);
+         (pattern_ ? pattern_->storage_bytes() : 0);
+}
+
+CsrAssembler::CsrAssembler(std::shared_ptr<const SparsityPattern> pattern)
+    : pattern_(std::move(pattern)) {
+  FEM2_CHECK(pattern_ != nullptr);
+  values_.assign(pattern_->nonzeros(), 0.0);
+}
+
+void CsrAssembler::reset() { values_.assign(pattern_->nonzeros(), 0.0); }
+
+void CsrAssembler::add(std::size_t row, std::size_t col, double value) {
+  const std::size_t k = pattern_->find(row, col);
+  FEM2_CHECK(k != SparsityPattern::npos);
+  values_[k] += value;
+}
+
+Vector lower_triangular_solve(const CsrMatrix& a, std::span<const double> b) {
+  FEM2_CHECK(a.rows() == a.cols());
+  FEM2_CHECK(b.size() == a.rows());
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  Vector x(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = b[r];
+    double diag = 0.0;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t c = col_idx[k];
+      if (c < r) {
+        acc -= values[k] * x[c];
+      } else if (c == r) {
+        diag = values[k];
+        break;  // columns are sorted: nothing below-diagonal remains
+      } else {
+        break;
+      }
+    }
+    FEM2_CHECK(diag != 0.0);
+    x[r] = acc / diag;
+  }
+  return x;
+}
+
+Vector upper_triangular_solve(const CsrMatrix& a, std::span<const double> b) {
+  FEM2_CHECK(a.rows() == a.cols());
+  FEM2_CHECK(b.size() == a.rows());
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const std::size_t n = a.rows();
+  Vector x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    double diag = 0.0;
+    for (std::size_t k = row_ptr[ri]; k < row_ptr[ri + 1]; ++k) {
+      const std::size_t c = col_idx[k];
+      if (c > ri) {
+        acc -= values[k] * x[c];
+      } else if (c == ri) {
+        diag = values[k];
+      }
+    }
+    FEM2_CHECK(diag != 0.0);
+    x[ri] = acc / diag;
+  }
+  return x;
 }
 
 }  // namespace fem2::la

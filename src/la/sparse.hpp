@@ -1,16 +1,61 @@
-// Compressed sparse row storage.  FEM stiffness matrices are assembled into
-// a TripletBuilder (duplicate entries accumulate, as element contributions
-// do) and compressed into an immutable CsrMatrix for solves.
+// Compressed sparse row storage.
+//
+// Two assembly paths feed a CsrMatrix:
+//  * TripletBuilder — one-shot: accumulate (row, col, value) triplets
+//    (duplicates sum, as element contributions do) and compress.
+//  * SparsityPattern + CsrAssembler — symbolic-then-numeric: the pattern
+//    (row_ptr / col_idx) is built once per mesh and shared between every
+//    numeric fill, so per-step assembly touches only the value array.
+//    This is the MiniFE-style split the FEM assembly pipeline uses.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "la/dense.hpp"
 #include "la/vec_ops.hpp"
 
 namespace fem2::la {
+
+/// Immutable CSR index structure: row pointers plus per-row sorted, unique
+/// column indices.  Shared (via shared_ptr) between every matrix assembled
+/// on the same mesh, so repeated numeric fills copy no index data.
+class SparsityPattern {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  SparsityPattern() = default;
+  /// col_idx must be sorted and unique within each row.
+  SparsityPattern(std::size_t rows, std::size_t cols,
+                  std::vector<std::size_t> row_ptr,
+                  std::vector<std::size_t> col_idx);
+
+  /// Build from unsorted (row, col) pairs; duplicates collapse.
+  static SparsityPattern from_pairs(
+      std::size_t rows, std::size_t cols,
+      std::vector<std::pair<std::size_t, std::size_t>> pairs);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return col_idx_.size(); }
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::size_t> col_idx() const { return col_idx_; }
+
+  /// Offset of (row, col) in the value array, or npos if absent.
+  std::size_t find(std::size_t row, std::size_t col) const;
+
+  std::size_t storage_bytes() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+};
 
 struct Triplet {
   std::size_t row;
@@ -45,9 +90,12 @@ class CsrMatrix {
   CsrMatrix(std::size_t rows, std::size_t cols,
             std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
             std::vector<double> values);
+  /// Numeric values over a shared symbolic pattern (zero index copies).
+  CsrMatrix(std::shared_ptr<const SparsityPattern> pattern,
+            std::vector<double> values);
 
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return pattern_ ? pattern_->rows() : 0; }
+  std::size_t cols() const { return pattern_ ? pattern_->cols() : 0; }
   std::size_t nonzeros() const { return values_.size(); }
 
   Vector multiply(std::span<const double> x) const;  ///< y = A x
@@ -57,14 +105,21 @@ class CsrMatrix {
   void multiply_rows(std::span<const double> x, std::size_t row_begin,
                      std::size_t row_end, std::span<double> y) const;
 
+  Vector multiply_transpose(std::span<const double> x) const;  ///< y = Aᵀ x
+
   double value_at(std::size_t row, std::size_t col) const;  ///< 0 if absent
 
   Vector diagonal() const;
 
   DenseMatrix to_dense() const;
 
-  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
-  std::span<const std::size_t> col_idx() const { return col_idx_; }
+  const SparsityPattern& pattern() const { return *pattern_; }
+  std::shared_ptr<const SparsityPattern> pattern_ptr() const {
+    return pattern_;
+  }
+
+  std::span<const std::size_t> row_ptr() const { return pattern_->row_ptr(); }
+  std::span<const std::size_t> col_idx() const { return pattern_->col_idx(); }
   std::span<const double> values() const { return values_; }
 
   /// Nonzeros in one row as parallel spans.
@@ -77,11 +132,44 @@ class CsrMatrix {
   std::size_t storage_bytes() const;
 
  private:
-  std::size_t rows_ = 0;
-  std::size_t cols_ = 0;
-  std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  std::shared_ptr<const SparsityPattern> pattern_;
   std::vector<double> values_;
 };
+
+/// Numeric assembly over a fixed SparsityPattern: zero the values, scatter
+/// element contributions (accumulating duplicates), take the matrix.
+/// add() binary-searches the row; add_at() scatters by a precomputed
+/// offset (see fem::AssemblyPlan) and is branch-free.
+class CsrAssembler {
+ public:
+  explicit CsrAssembler(std::shared_ptr<const SparsityPattern> pattern);
+
+  /// Zero all values for the next numeric pass.
+  void reset();
+
+  void add(std::size_t row, std::size_t col, double value);
+  void add_at(std::size_t offset, double value) { values_[offset] += value; }
+
+  const SparsityPattern& pattern() const { return *pattern_; }
+
+  /// The assembled matrix (shares the pattern; copies the values so the
+  /// assembler can keep filling future steps).
+  CsrMatrix matrix() const { return CsrMatrix(pattern_, values_); }
+
+  /// Move the values out (final step of a single-shot assembly).
+  CsrMatrix take_matrix() { return CsrMatrix(pattern_, std::move(values_)); }
+
+ private:
+  std::shared_ptr<const SparsityPattern> pattern_;
+  std::vector<double> values_;
+};
+
+/// Solve L x = b with L the lower-triangular part (diagonal included) of
+/// `a`; entries above the diagonal are ignored.  Requires a nonzero
+/// diagonal.  Building block for Gauss-Seidel-style smoothers.
+Vector lower_triangular_solve(const CsrMatrix& a, std::span<const double> b);
+
+/// Solve U x = b with U the upper-triangular part (diagonal included).
+Vector upper_triangular_solve(const CsrMatrix& a, std::span<const double> b);
 
 }  // namespace fem2::la

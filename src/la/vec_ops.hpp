@@ -1,7 +1,15 @@
 // Vector kernels.  Vectors are plain std::vector<double>; kernels take
 // std::span so distributed-array shards (src/navm) reuse them unchanged.
+//
+// The kernels are written SIMD-friendly: unit-stride loops over raw
+// pointers with multiple independent accumulators, no aliasing between
+// inputs and outputs (except where documented), and no shared mutable
+// state — the multi-threaded host backend calls them concurrently on
+// disjoint lanes without locking.  Reduction order is fixed (4-way
+// unrolled), so results are bit-identical at any host thread count.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -14,8 +22,15 @@ double dot(std::span<const double> x, std::span<const double> y);
 /// y += alpha * x
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
+/// y = x + alpha * y (in place) — the CG direction update p = z + beta p.
+void xpay(std::span<const double> x, double alpha, std::span<double> y);
+
 /// x *= alpha
 void scale(double alpha, std::span<double> x);
+
+/// z = x .* y (elementwise) — diagonal preconditioner application.
+void hadamard(std::span<const double> x, std::span<const double> y,
+              std::span<double> z);
 
 double norm2(std::span<const double> x);
 
@@ -26,5 +41,15 @@ Vector subtract(std::span<const double> x, std::span<const double> y);
 
 /// z = x + y
 Vector add(std::span<const double> x, std::span<const double> y);
+
+/// y[r - row_begin] = sum_k values[k] * x[col_idx[k]] over CSR rows
+/// [row_begin, row_end).  The raw CSR SpMV kernel: CsrMatrix and the
+/// per-lane distributed matvec both call it; each lane owns a disjoint
+/// row range and a disjoint output slice, so no synchronization is needed.
+void spmv_rows(std::span<const std::size_t> row_ptr,
+               std::span<const std::size_t> col_idx,
+               std::span<const double> values, std::span<const double> x,
+               std::size_t row_begin, std::size_t row_end,
+               std::span<double> y);
 
 }  // namespace fem2::la

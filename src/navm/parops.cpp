@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace fem2::navm {
 
@@ -80,6 +81,7 @@ struct CgWorkerParams {
   std::uint32_t total = 1;
   hw::ClusterId driver_cluster;
   std::uint64_t collector = 0;
+  bool jacobi = false;            ///< Jacobi-precondition from the local diagonal
 };
 
 struct CgHello {
@@ -87,6 +89,7 @@ struct CgHello {
   std::size_t row0 = 0;
   std::size_t len = 0;
   double rr_local = 0.0;
+  double rz_local = 0.0;  ///< == rr_local when unpreconditioned
 };
 
 /// Scalar reduction contribution, tagged with the worker index so the
@@ -97,17 +100,23 @@ struct CgHello {
 struct CgPart {
   std::uint32_t index = 0;
   double value = 0.0;
+  double value2 = 0.0;  ///< second reduction riding the same deposit (r·z)
 };
 
-double sum_indexed(const std::vector<sysvm::Payload>& parts) {
+/// Index-ordered sums of (value, value2) over the deposited parts.
+std::pair<double, double> sum_indexed(const std::vector<sysvm::Payload>& parts) {
   std::vector<CgPart> ps;
   ps.reserve(parts.size());
   for (const auto& part : parts) ps.push_back(part.as<CgPart>());
   std::sort(ps.begin(), ps.end(),
             [](const CgPart& a, const CgPart& b) { return a.index < b.index; });
   double sum = 0.0;
-  for (const auto& p : ps) sum += p.value;
-  return sum;
+  double sum2 = 0.0;
+  for (const auto& p : ps) {
+    sum += p.value;
+    sum2 += p.value2;
+  }
+  return {sum, sum2};
 }
 
 struct CgSetupDatum {
@@ -188,6 +197,23 @@ Coro cg_worker_body(TaskContext& ctx) {
   std::vector<double> p_local = r;      // p = r
   std::vector<double> q(len, 0.0);
 
+  // Jacobi preconditioning is worker-local: this shard owns its diagonal
+  // rows, so M⁻¹ r costs one hadamard and no extra shipping.
+  std::vector<double> inv_diag;
+  std::vector<double> z;
+  if (wp.jacobi) {
+    inv_diag.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double d = wp.shard.value_at(i, wp.row0 + i);
+      FEM2_CHECK_MSG(d != 0.0, "zero diagonal with Jacobi preconditioner");
+      inv_diag[i] = 1.0 / d;
+    }
+    z.resize(len);
+    la::hadamard(inv_diag, r, z);
+    ctx.charge_flops(len);
+    p_local = z;  // p = z = M⁻¹ r
+  }
+
   // Published p shard, readable by peers through windows.
   const Window p_window = ctx.create_vector(p_local);
 
@@ -207,10 +233,11 @@ Coro cg_worker_body(TaskContext& ctx) {
   std::uint64_t deposit_token = 0;
 
   const double rr_local = local_dot(ctx, r, r);
+  const double rz_local = wp.jacobi ? local_dot(ctx, r, z) : rr_local;
   co_await ctx.deposit(
       wp.driver_cluster, wp.collector,
-      sysvm::Payload::of(CgHello{p_window, wp.row0, len, rr_local},
-                         Window::kDescriptorBytes + 24),
+      sysvm::Payload::of(CgHello{p_window, wp.row0, len, rr_local, rz_local},
+                         Window::kDescriptorBytes + (wp.jacobi ? 32 : 24)),
       ++deposit_token);
   const sysvm::Payload setup_payload = co_await ctx.pause();
   const auto& setup = setup_payload.as<CgSetupDatum>();
@@ -267,8 +294,15 @@ Coro cg_worker_body(TaskContext& ctx) {
 
     // --- beta / convergence round -----------------------------------------
     const double rr = local_dot(ctx, r, r);
+    double rz = rr;
+    if (wp.jacobi) {
+      la::hadamard(inv_diag, r, z);
+      ctx.charge_flops(len);
+      rz = local_dot(ctx, r, z);
+    }
     co_await ctx.deposit(wp.driver_cluster, wp.collector,
-                         sysvm::Payload::of(CgPart{wp.index, rr}, 16),
+                         sysvm::Payload::of(CgPart{wp.index, rr, rz},
+                                            wp.jacobi ? 24u : 16u),
                          ++deposit_token);
     const sysvm::Payload beta_payload = co_await ctx.pause();
     const auto& control = beta_payload.as<CgBetaDatum>();
@@ -277,8 +311,9 @@ Coro cg_worker_body(TaskContext& ctx) {
 
     // --- p update + publication barrier ------------------------------------
     ctx.charge_flops(2 * len);
+    const std::vector<double>& direction = wp.jacobi ? z : r;
     for (std::size_t i = 0; i < len; ++i)
-      p_local[i] = r[i] + control.beta * p_local[i];
+      p_local[i] = direction[i] + control.beta * p_local[i];
     co_await ctx.write(p_window, p_local);
     co_await ctx.deposit(wp.driver_cluster, wp.collector, sysvm::Payload{},
                          ++deposit_token);
@@ -327,6 +362,7 @@ Coro cg_driver_body(TaskContext& ctx) {
         wp.total = k;
         wp.driver_cluster = ctx.cluster();
         wp.collector = collector;
+        wp.jacobi = problem.jacobi_preconditioner;
         const std::size_t bytes = wp.shard.storage_bytes() +
                                   wp.b_local.size() * sizeof(double) + 96;
         return sysvm::Payload::of(std::move(wp), bytes);
@@ -344,7 +380,9 @@ Coro cg_driver_body(TaskContext& ctx) {
               [](const CgHello& a, const CgHello& b) { return a.row0 < b.row0; });
     // Sum in shard order, not arrival order (bitwise reproducibility).
     double bnorm2 = 0.0;
+    double rz0 = 0.0;
     for (const auto& h : hs) bnorm2 += h.rr_local;
+    for (const auto& h : hs) rz0 += h.rz_local;
     for (const auto& h : hs) {
       setup.p_windows.push_back(h.p_window);
       setup.row0.push_back(h.row0);
@@ -366,7 +404,9 @@ Coro cg_driver_body(TaskContext& ctx) {
     }
 
     // --- iterate ------------------------------------------------------------
-    double rr = bnorm2;
+    // alpha/beta run on r·z (== r·r unpreconditioned); convergence always
+    // on ‖r‖/‖b‖ so tolerances mean the same thing either way.
+    double rz = rz0;
     const double bnorm = std::sqrt(bnorm2);
     std::size_t iteration = 0;
     double residual = 1.0;
@@ -374,21 +414,21 @@ Coro cg_driver_body(TaskContext& ctx) {
     while (!done) {
       // alpha round
       auto pq_parts = co_await ctx.collect(collector);
-      const double pq = sum_indexed(pq_parts);
+      const double pq = sum_indexed(pq_parts).first;
       ctx.charge_flops(k + 2);
-      const double alpha = pq != 0.0 ? rr / pq : 0.0;
+      const double alpha = pq != 0.0 ? rz / pq : 0.0;
       ctx.broadcast(children, payload_real(alpha));
 
       // beta / convergence round
       auto rr_parts = co_await ctx.collect(collector);
-      const double rr_new = sum_indexed(rr_parts);
+      const auto [rr_new, rz_new] = sum_indexed(rr_parts);
       ctx.charge_flops(k + 4);
       ++iteration;
       residual = std::sqrt(rr_new) / bnorm;
       done = residual <= problem.tolerance ||
              iteration >= problem.max_iterations || pq == 0.0;
-      const double beta = rr != 0.0 ? rr_new / rr : 0.0;
-      rr = rr_new;
+      const double beta = rz != 0.0 ? rz_new / rz : 0.0;
+      rz = rz_new;
       ctx.broadcast(children,
                     sysvm::Payload::of(CgBetaDatum{beta, done}, 16));
 

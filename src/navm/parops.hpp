@@ -95,6 +95,10 @@ struct CgProblem {
   std::uint32_t workers = 4;
   double tolerance = 1e-10;
   std::size_t max_iterations = 10'000;
+  /// Jacobi (diagonal) preconditioning.  Each worker extracts the inverse
+  /// diagonal of its own row block locally, so the only protocol cost is
+  /// one extra scalar (r·z) per reduction round.
+  bool jacobi_preconditioner = false;
 };
 
 struct CgResult {
