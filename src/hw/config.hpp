@@ -9,8 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace fem2::hw {
+
+class Topology;
 
 /// Virtual time, in processor cycles.
 using Cycles = std::uint64_t;
@@ -48,6 +51,11 @@ struct MachineConfig {
   Cycles intra_cluster_latency = 30;   ///< shared-memory handoff in-cluster
   Cycles network_base_latency = 150;   ///< inter-cluster message launch
   double network_cycles_per_byte = 0.5;
+
+  /// Inter-cluster network shape (hw/topology.hpp).  Null selects a
+  /// FlatTopology built from the two fields above — the seed cost model.
+  /// The engine's PDES window is the topology's minimum launch delay.
+  std::shared_ptr<const Topology> topology;
 
   /// Aggregate network channels: each cluster has one inbound FIFO channel;
   /// packets heading to the same cluster serialize on it.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hw/topology.hpp"
+
 namespace fem2::hw {
 
 Machine::Machine(const MachineConfig& config)
@@ -9,11 +11,25 @@ Machine::Machine(const MachineConfig& config)
   FEM2_CHECK_MSG(config_.clusters > 0, "machine needs at least one cluster");
   FEM2_CHECK_MSG(config_.pes_per_cluster > 0,
                  "machine needs at least one PE per cluster");
-  engine_.configure(config_.clusters, config_.network_base_latency);
+  topology_ = config_.topology;
+  if (topology_ == nullptr)
+    topology_ = std::make_shared<FlatTopology>(config_);
+  FEM2_CHECK_MSG(topology_->clusters() == config_.clusters,
+                 "topology cluster count does not match the machine");
+  // The PDES lookahead is the topology's minimum cross-cluster launch
+  // delay: no packet sent inside a window can be delivered inside it.
+  const Cycles window = topology_->min_launch_delay();
+  FEM2_CHECK_MSG(window > 0, "topology min launch delay must be positive");
+  engine_.configure(config_.clusters, window);
   pes_ = std::vector<PeSlot>(config_.total_pes());
   clusters_.resize(config_.clusters);
   links_.resize(config_.clusters * config_.clusters);
   for (auto& l : links_) l.drop_probability = config_.network_drop_probability;
+  channel_free_at_.assign(topology_->channel_count(), 0);
+  // Statically severed links (degraded topologies) take effect before the
+  // first event, exactly like a FaultPlan::fail_link at t=0.
+  for (const auto& [src, dst] : topology_->severed_links())
+    link(src, dst).severed = true;
   metrics_.pes.resize(config_.total_pes());
   metrics_.clusters.resize(config_.clusters);
   metrics_.network.clusters = config_.clusters;
@@ -48,6 +64,8 @@ PeMetrics& Machine::pe_metrics(PeId pe) {
 Machine::NetDeltas& Machine::net_delta() const {
   return net_deltas_[engine_.current_shard()];
 }
+
+const Topology& Machine::topology() const { return *topology_; }
 
 void Machine::record_trace(const TraceEvent& ev) {
   if (tracer_ == nullptr) return;
@@ -124,16 +142,23 @@ void Machine::launch_packet(PendingSend& ps) {
   }
   metrics_.network.messages += 1;
   metrics_.network.bytes += ps.bytes;
+  const Cycles launch = topology_->launch_delay(ps.src, ps.dst, ps.send_time);
+  FEM2_CHECK_MSG(launch >= engine_.window(),
+                 "topology launch delay below the PDES lookahead");
   const auto transfer = static_cast<Cycles>(
-      config_.network_cycles_per_byte * static_cast<double>(ps.bytes));
-  Cycles start = ps.send_time + config_.network_base_latency;
+      topology_->cycles_per_byte(ps.src, ps.dst) *
+      static_cast<double>(ps.bytes));
+  Cycles start = ps.send_time + launch;
   if (config_.model_network_contention) {
-    auto& ch = clusters_[ps.dst.index].channel_free_at;
+    auto& ch = channel_free_at_[topology_->channel(ps.src, ps.dst)];
     start = std::max(start, ch);
     ch = start + transfer;
     metrics_.network.channel_busy_cycles += transfer;
   }
   const Cycles deliver_at = start + transfer;
+  // launch_packet always runs in deterministic serial order (inline or at
+  // the window barrier), so sampling here is thread-count invariant.
+  metrics_.network.latency.record(deliver_at - ps.send_time);
   record_trace(
       {ps.send_time, TraceKind::MessageSent, ps.src, 0xffffffffu, ps.bytes});
   Packet packet{ps.src, ps.dst, ps.bytes, std::move(ps.payload)};

@@ -48,6 +48,9 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   const MachineConfig& config() const { return config_; }
+  /// The inter-cluster network shape driving latency, bandwidth and
+  /// contention (config.topology, or the flat seed model when unset).
+  const Topology& topology() const;
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
   Cycles now() const { return engine_.now(); }
@@ -162,7 +165,6 @@ class Machine {
 
   struct ClusterSlot {
     std::deque<Packet> queue;
-    Cycles channel_free_at = 0;  ///< inbound network channel serialization
     Cycles memory_port_free_at = 0;  ///< shared-memory port serialization
     std::size_t memory_in_use = 0;
     bool lost = false;  ///< cluster-lost handler already fired
@@ -227,10 +229,12 @@ class Machine {
   void fold_metrics() const;
 
   MachineConfig config_;
+  std::shared_ptr<const Topology> topology_;
   Engine engine_;
   std::vector<PeSlot> pes_;
   std::vector<ClusterSlot> clusters_;
   std::vector<LinkSlot> links_;  ///< row-major src×dst, inter-cluster only
+  std::vector<Cycles> channel_free_at_;  ///< topology contention channels
   ClusterService service_;
   WorkLostHandler work_lost_;
   ClusterLostHandler cluster_lost_;

@@ -1,11 +1,59 @@
 #include "hw/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "support/strings.hpp"
 
 namespace fem2::hw {
+
+std::size_t LatencyHistogram::bucket_index(Cycles v) {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  // v >= 16: range r holds [16 << r, 32 << r), split into kSub linear
+  // sub-buckets of width (1 << r).
+  const int width = std::bit_width(v);  // >= 5
+  const std::size_t range = static_cast<std::size_t>(width - 5);
+  const std::size_t sub =
+      static_cast<std::size_t>((v >> range) & (kSub - 1));
+  return kSub + range * kSub + sub;
+}
+
+Cycles LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < kSub) return static_cast<Cycles>(index);
+  const std::size_t range = (index - kSub) / kSub;
+  const std::size_t sub = (index - kSub) % kSub;
+  return ((static_cast<Cycles>(kSub + sub) + 1) << range) - 1;
+}
+
+void LatencyHistogram::record(Cycles v) {
+  if (count == 0 || v < min) min = v;
+  if (v > max) max = v;
+  count += 1;
+  sum += v;
+  const std::size_t index = bucket_index(v);
+  if (index >= buckets.size()) buckets.resize(index + 1, 0);
+  buckets[index] += 1;
+}
+
+double LatencyHistogram::mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+Cycles LatencyHistogram::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target && buckets[i] > 0)
+      return std::clamp(bucket_upper(i), min, max);
+  }
+  return max;
+}
 
 std::uint64_t NetworkMetrics::traffic(std::size_t from, std::size_t to) const {
   if (from >= clusters || to >= clusters) return 0;
@@ -97,6 +145,16 @@ std::string MachineMetrics::dump() const {
     if (network.traffic_matrix[i] != 0) {
       os << "network.traffic[" << i << "]=" << network.traffic_matrix[i]
          << "\n";
+    }
+  }
+  os << "network.latency.count=" << network.latency.count << "\n"
+     << "network.latency.sum=" << network.latency.sum << "\n"
+     << "network.latency.min=" << network.latency.min << "\n"
+     << "network.latency.max=" << network.latency.max << "\n";
+  for (std::size_t i = 0; i < network.latency.buckets.size(); ++i) {
+    if (network.latency.buckets[i] != 0) {
+      os << "network.latency.bucket[" << i
+         << "]=" << network.latency.buckets[i] << "\n";
     }
   }
   return os.str();

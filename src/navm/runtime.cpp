@@ -193,6 +193,14 @@ std::vector<double> Runtime::gather(const Window& window) const {
   return out;
 }
 
+void Runtime::note_remote_window_wait(const Window& window, hw::Cycles wait) {
+  if (observer_ == nullptr) return;
+  os_.sequenced(
+      [obs = observer_, window, wait] {
+        obs->on_remote_window_wait(window, wait);
+      });
+}
+
 void Runtime::scatter(const Window& window, std::span<const double> data) {
   if (observer_ != nullptr) {
     os_.sequenced(

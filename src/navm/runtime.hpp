@@ -58,6 +58,15 @@ class RuntimeObserver {
   virtual void on_array_read(const Window& window) { (void)window; }
   virtual void on_array_write(const Window& window) { (void)window; }
 
+  /// A remote window operation (read or write routed to the owning
+  /// cluster) completed; `wait` is the requesting task's round-trip wait
+  /// in simulated cycles — the navm-level view of network latency, which
+  /// varies with the machine's topology.  Local accesses do not report.
+  virtual void on_remote_window_wait(const Window& window, hw::Cycles wait) {
+    (void)window;
+    (void)wait;
+  }
+
   /// A deposit was accepted into a collector (post-deduplication).
   virtual void on_deposit(std::uint64_t collector, sysvm::TaskId depositor) {
     (void)collector;
@@ -121,6 +130,10 @@ class Runtime {
 
   std::vector<double> gather(const Window& window) const;
   void scatter(const Window& window, std::span<const double> data);
+
+  /// Report a completed remote window round trip to the observer (called
+  /// by the read/write awaitables when they resume after a remote call).
+  void note_remote_window_wait(const Window& window, hw::Cycles wait);
 
   // --- collectors -----------------------------------------------------------
   /// Rendezvous for reductions: `expected` deposits fill it, then the

@@ -44,6 +44,7 @@ bool TaskContext::ReadAwait::await_ready() {
 
 void TaskContext::ReadAwait::await_suspend(std::coroutine_handle<>) {
   const auto destination = ctx.runtime().window_cluster(window);
+  issued_at = ctx.runtime().os().machine().now();
   const auto token = ctx.api_.remote_call(
       destination, "navm.win.read",
       sysvm::Payload::of(window, Window::kDescriptorBytes));
@@ -53,6 +54,8 @@ void TaskContext::ReadAwait::await_suspend(std::coroutine_handle<>) {
 
 std::vector<double> TaskContext::ReadAwait::await_resume() {
   if (is_local) return std::move(local);
+  ctx.runtime().note_remote_window_wait(
+      window, ctx.runtime().os().machine().now() - issued_at);
   return as_reals(ctx.wake_);
 }
 
@@ -75,6 +78,7 @@ bool TaskContext::WriteAwait::await_ready() {
 
 void TaskContext::WriteAwait::await_suspend(std::coroutine_handle<>) {
   const auto destination = ctx.runtime().window_cluster(window);
+  issued_at = ctx.runtime().os().machine().now();
   const std::size_t bytes =
       Window::kDescriptorBytes + data.size() * sizeof(double);
   WriteArgs args{window, std::move(data)};
@@ -83,6 +87,12 @@ void TaskContext::WriteAwait::await_suspend(std::coroutine_handle<>) {
       sysvm::Payload::of(std::move(args), bytes));
   ctx.api_.block_on_reply(token);
   ctx.suspend_kind_ = SuspendKind::Blocked;
+}
+
+void TaskContext::WriteAwait::await_resume() {
+  if (is_local) return;
+  ctx.runtime().note_remote_window_wait(
+      window, ctx.runtime().os().machine().now() - issued_at);
 }
 
 // --- Collectors -----------------------------------------------------------------

@@ -213,6 +213,7 @@ class TaskContext {
     Window window;
     std::vector<double> local;
     bool is_local = false;
+    hw::Cycles issued_at = 0;  ///< remote path: virtual time at suspend
     bool await_ready();
     void await_suspend(std::coroutine_handle<>);
     std::vector<double> await_resume();
@@ -229,9 +230,10 @@ class TaskContext {
     Window window;
     std::vector<double> data;
     bool is_local = false;
+    hw::Cycles issued_at = 0;  ///< remote path: virtual time at suspend
     bool await_ready();
     void await_suspend(std::coroutine_handle<>);
-    void await_resume() {}
+    void await_resume();
   };
   /// Assign the data visible in a window (local store or remote call).
   WriteAwait write(const Window& window, std::vector<double> data) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "hw/topology.hpp"
+
 namespace fem2::sysvm {
 
 namespace {
@@ -255,6 +257,14 @@ std::string OsStats::dump() const {
 
 Os::Os(hw::Machine& machine, OsOptions options)
     : machine_(machine), options_(options) {
+  if (options_.retransmit_timeout == 0) {
+    // Auto-derive the base RTO from the topology's worst-case one-way
+    // path so slow topologies do not retransmit spuriously.
+    const auto& config = machine_.config();
+    options_.retransmit_timeout =
+        4 * (machine_.topology().max_launch_delay() +
+             config.message_sw_overhead + config.kernel_dispatch);
+  }
   const std::size_t cluster_count = machine_.cluster_count();
   clusters_.resize(cluster_count);
   heaps_.reserve(cluster_count);

@@ -201,6 +201,10 @@ struct OsOptions {
   /// the seed cost model.
   bool reliable_transport = false;
   /// Base retransmission timeout; doubles per attempt (capped at 64x).
+  /// 0 = derive from the machine's topology: 4x the worst-case one-way
+  /// path (max launch delay + software overhead + kernel dispatch), so
+  /// high-latency topologies (rotor waits, browned-out links) do not
+  /// retransmit spuriously.  The default suits the flat seed network.
   hw::Cycles retransmit_timeout = 20'000;
   /// Attempts before the destination is declared unreachable
   /// (support::Error).  Covers a link severed while both ends stay alive.

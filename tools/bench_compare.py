@@ -2,7 +2,8 @@
 """Compare BENCH_E*.json reports against a committed baseline.
 
 Usage:
-    bench_compare.py --baseline tools/bench_baseline.json [--update] DIR
+    bench_compare.py --baseline tools/bench_baseline.json [--update]
+                     [--only E16[,E2,...]] DIR
 
 DIR holds the BENCH_*.json files emitted by the `--smoke` bench runs
 (`ctest -L bench`).  The baseline file maps experiment id -> report with
@@ -18,6 +19,12 @@ Policy, matching the determinism story of the simulator:
     from the baseline (new bench / new row — run --update to adopt it)
     and a baseline metric absent from the current reports (a bench
     silently stopped emitting it, which is how coverage rots).
+  * a malformed report (unparsable JSON, wrong shape) or an empty one
+    (no rows) FAILS: a bench that crashed mid-write or emitted nothing
+    must not pass the gate by accident.
+  * --only restricts the comparison to the named experiments
+    (comma-separated, e.g. --only E16), for jobs that run one driver
+    rather than the whole harness.
 
 Exit code 0 = ok (possibly with warnings), 1 = at least one failure.
 """
@@ -41,6 +48,17 @@ def load_reports(directory: Path) -> dict[str, dict]:
         except json.JSONDecodeError as err:
             print(f"FAIL  {path.name}: unparsable JSON ({err})")
             reports[path.stem] = None
+            continue
+        if not isinstance(report, dict) or not isinstance(
+                report.get("rows"), list):
+            print(f"FAIL  {path.name}: not a report object "
+                  f"(expected {{experiment, rows, host_wall_ms}})")
+            reports[path.stem] = None
+            continue
+        if not report["rows"]:
+            print(f"FAIL  {path.name}: report has no rows "
+                  f"(bench emitted nothing)")
+            reports[report.get("experiment", path.stem)] = None
             continue
         reports[report.get("experiment", path.stem)] = report
     return reports
@@ -107,9 +125,19 @@ def main() -> int:
                         help="relative regression tolerance (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the given reports")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids to compare "
+                             "(e.g. E16); default: all found")
     args = parser.parse_args()
 
     reports = load_reports(args.directory)
+    if args.only:
+        only = {e.strip() for e in args.only.split(",") if e.strip()}
+        reports = {k: v for k, v in reports.items() if k in only}
+        for experiment in sorted(only - reports.keys()):
+            print(f"FAIL  {experiment}: requested via --only but no "
+                  f"report found in {args.directory}")
+            reports[experiment] = None
     if not reports:
         print(f"FAIL  no BENCH_*.json files found in {args.directory}")
         return 1
@@ -126,6 +154,8 @@ def main() -> int:
               f"(generate with --update)")
         return 1
     baseline = json.loads(args.baseline.read_text())
+    if args.only:
+        baseline = {k: v for k, v in baseline.items() if k in reports}
 
     failures, warnings = compare(reports, baseline, args.threshold)
     print(f"\n{len(reports)} reports, {failures} failures, "

@@ -1,0 +1,216 @@
+// E16 — fem2_sweep: the design-space exploration driver the paper's
+// simulation program exists for.  Runs the standard workloads (the E1
+// solve pipeline, E2-style concurrent user problems, an E5-style lossy
+// network with reliable transport) across a topology × cluster-count ×
+// traffic grid, and emits:
+//   * BENCH_E16.json — one simulated row set per grid cell (elapsed
+//     cycles, messages, latency quantiles), gated in CI by
+//     tools/bench_compare.py --only E16;
+//   * SWEEP_E16_CDF.json — the per-cell delivery-latency CDF extracted
+//     from the machine's latency histogram, for plotting.
+//
+// `--smoke` shrinks the grid to 2 topologies × 2 cluster counts for the
+// CI sweep-smoke job; every smoke cell is a strict subset of the full
+// grid (same workload sizes), so smoke and full values agree cell for
+// cell and one baseline covers both.
+#include "bench_common.hpp"
+
+#include <fstream>
+
+#include "fem/assembly.hpp"
+#include "hw/topology.hpp"
+
+using namespace fem2;
+
+namespace {
+
+struct Cell {
+  std::string topology;
+  std::size_t clusters = 0;
+  std::string traffic;
+  hw::Cycles elapsed = 0;
+  std::uint64_t messages = 0;
+  hw::Cycles lat_p50 = 0;
+  hw::Cycles lat_p99 = 0;
+  hw::LatencyHistogram latency;
+};
+
+std::string cell_tag(const Cell& cell) {
+  return cell.topology + "_c" + std::to_string(cell.clusters) + "_" +
+         cell.traffic;
+}
+
+hw::MachineConfig cell_config(const std::string& topology,
+                              std::size_t clusters) {
+  auto config = bench::machine_shape(clusters, 4);
+  config.topology = hw::make_topology(topology, config);
+  return config;
+}
+
+/// E1-style traffic: one distributed CG solve fanned across the machine.
+Cell run_solve(const std::string& topology, std::size_t clusters,
+               const fem::StructureModel& model) {
+  Cell cell;
+  cell.topology = topology;
+  cell.clusters = clusters;
+  cell.traffic = "solve";
+  bench::ParallelRun run(model, 2 * clusters, cell_config(topology, clusters));
+  const auto& metrics = run.stack.machine->metrics();
+  cell.elapsed = run.elapsed();
+  cell.messages = metrics.total_messages();
+  cell.latency = metrics.network.latency;
+  return cell;
+}
+
+/// E2-style traffic: two independent user problems solved concurrently.
+Cell run_multiuser(const std::string& topology, std::size_t clusters,
+                   const fem::StructureModel& model) {
+  Cell cell;
+  cell.topology = topology;
+  cell.clusters = clusters;
+  cell.traffic = "multiuser";
+  bench::Stack stack(cell_config(topology, clusters));
+  const auto system = fem::assemble(model);
+  const auto rhs = system.load_vector(model.load_sets.at("tip-shear"));
+  std::vector<sysvm::TaskId> tasks;
+  for (int i = 0; i < 2; ++i) {
+    navm::CgProblem problem;
+    problem.a = system.stiffness;
+    problem.b = rhs;
+    problem.workers = static_cast<std::uint32_t>(clusters);
+    problem.tolerance = 1e-8;
+    tasks.push_back(stack.runtime->launch(
+        navm::kCgDriverTask, navm::make_cg_problem(std::move(problem))));
+  }
+  stack.runtime->run();
+  for (const auto t : tasks) FEM2_CHECK(stack.os->task_finished(t));
+  const auto& metrics = stack.machine->metrics();
+  cell.elapsed = stack.machine->now();
+  cell.messages = metrics.total_messages();
+  cell.latency = metrics.network.latency;
+  return cell;
+}
+
+/// E5-style traffic: the solve on a lossy network, reliable transport on,
+/// retransmit timeout auto-derived from the topology (OsOptions 0).
+Cell run_lossy(const std::string& topology, std::size_t clusters,
+               const fem::StructureModel& model) {
+  Cell cell;
+  cell.topology = topology;
+  cell.clusters = clusters;
+  cell.traffic = "lossy";
+  auto config = cell_config(topology, clusters);
+  config.network_drop_probability = 0.005;
+  sysvm::OsOptions options;
+  options.reliable_transport = true;
+  options.retransmit_timeout = 0;  // derive from topology max latency
+  bench::ParallelRun run(model, 2 * clusters, config, options);
+  const auto& metrics = run.stack.machine->metrics();
+  cell.elapsed = run.elapsed();
+  cell.messages = metrics.total_messages();
+  cell.latency = metrics.network.latency;
+  return cell;
+}
+
+void write_cdfs(const std::vector<Cell>& cells) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("FEM2_BENCH_DIR")) dir = env;
+  const std::string path = dir + "/SWEEP_E16_CDF.json";
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E16\",\n  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"topology\": \""
+        << cell.topology << "\", \"clusters\": " << cell.clusters
+        << ", \"traffic\": \"" << cell.traffic << "\", \"count\": "
+        << cell.latency.count << ", \"cdf\": [";
+    std::uint64_t seen = 0;
+    bool first = true;
+    for (std::size_t b = 0; b < cell.latency.buckets.size(); ++b) {
+      if (cell.latency.buckets[b] == 0) continue;
+      seen += cell.latency.buckets[b];
+      out << (first ? "" : ", ") << "["
+          << hw::LatencyHistogram::bucket_upper(b) << ", "
+          << static_cast<double>(seen) /
+                 static_cast<double>(cell.latency.count)
+          << "]";
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+  } else {
+    std::cout << "[report] " << path << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("E16", argc, argv);
+  bench::print_header(
+      "E16 fem2_sweep",
+      "design-space sweep: topology x cluster count x traffic pattern");
+
+  std::vector<std::string> topologies = hw::topology_kinds();
+  std::vector<std::size_t> cluster_counts = {2, 4, 8};
+  if (bench::smoke()) {
+    topologies = {"flat", "fattree"};
+    cluster_counts = {2, 4};
+  }
+
+  // One fixed workload size in both modes keeps every smoke cell equal to
+  // the corresponding full-grid cell, so one baseline covers both.
+  const auto model = bench::cantilever_sheet(16, 8);
+
+  support::Table table("Sweep grid (all quantities simulated)");
+  table.set_header({"topology", "clusters", "traffic", "Mcycles", "msgs",
+                    "lat p50", "lat p99"});
+
+  std::vector<Cell> cells;
+  for (const auto& topology : topologies) {
+    for (const std::size_t clusters : cluster_counts) {
+      for (const char* traffic : {"solve", "multiuser", "lossy"}) {
+        Cell cell;
+        if (std::string_view(traffic) == "solve") {
+          cell = run_solve(topology, clusters, model);
+        } else if (std::string_view(traffic) == "multiuser") {
+          cell = run_multiuser(topology, clusters, model);
+        } else {
+          cell = run_lossy(topology, clusters, model);
+        }
+        cell.lat_p50 = cell.latency.quantile(0.5);
+        cell.lat_p99 = cell.latency.quantile(0.99);
+        table.row()
+            .cell(cell.topology)
+            .cell(static_cast<std::uint64_t>(cell.clusters))
+            .cell(cell.traffic)
+            .cell(static_cast<double>(cell.elapsed) / 1e6, 2)
+            .cell(cell.messages)
+            .cell(static_cast<std::uint64_t>(cell.lat_p50))
+            .cell(static_cast<std::uint64_t>(cell.lat_p99));
+        const std::string tag = cell_tag(cell);
+        bench::note("cycles_" + tag, static_cast<double>(cell.elapsed),
+                    "cycles");
+        bench::note("msgs_" + tag, static_cast<double>(cell.messages),
+                    "msgs");
+        bench::note("lat_p50_" + tag, static_cast<double>(cell.lat_p50),
+                    "cycles");
+        bench::note("lat_p99_" + tag, static_cast<double>(cell.lat_p99),
+                    "cycles");
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  table.print(std::cout);
+  write_cdfs(cells);
+
+  std::cout << "\nShape check: fat-tree beats flat inside a pod and pays on "
+               "the spine; rotor trades\nlatency (slot waits) for bandwidth; "
+               "degraded links stretch the latency tail without\nchanging "
+               "results; every cell is bit-identical at any host thread "
+               "count.\n";
+  return bench::finish();
+}
